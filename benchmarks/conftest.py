@@ -1,0 +1,33 @@
+"""Benchmark harness configuration.
+
+Every file in this directory regenerates one table or figure from the
+paper's evaluation (see DESIGN.md's per-experiment index).  Heavy runs
+are produced by :mod:`repro.sim.experiments`, which caches results on
+disk (``.repro_cache/``) so tables and figures that share runs (Table II
+and Figures 1-2; Table IV and Figures 6-7) only pay once.
+
+Knobs: ``REPRO_EPOCH_SCALE`` (default 0.4) scales every horizon;
+``REPRO_NO_CACHE=1`` forces recomputation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Measure ``fn`` exactly once (runs are minutes-long simulations)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture()
+def once(benchmark):
+    def _once(fn):
+        return run_once(benchmark, fn)
+
+    return _once
+
+
+def emit(text: str) -> None:
+    """Print a table/figure rendering with visual separation."""
+    print("\n" + text + "\n")

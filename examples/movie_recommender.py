@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""A decentralized movie recommender, end to end.
+
+The scenario from the paper's introduction: users keep their ratings on
+their own devices, yet want recommendations informed by everyone else's
+taste.  REX nodes gossip raw (encrypted) ratings; every node ends up with
+a personal model good enough to rank unseen movies for its users.
+
+This example trains a 30-node REX deployment on a synthetic MovieLens
+dataset, then produces top-5 recommendations for a few users from their
+*own node's* model -- no central service involved -- and compares the
+hit quality against the held-out test set.
+
+Run:  python examples/movie_recommender.py
+"""
+
+import numpy as np
+
+from repro import (
+    Dissemination,
+    MovieLensSpec,
+    RexConfig,
+    SharingScheme,
+    Topology,
+    generate_movielens,
+)
+from repro.data import partition_users_across_nodes
+from repro.ml.mf import MatrixFactorization, MfHyperParams
+from repro.sim import MfFleetSim
+
+N_NODES = 30
+EPOCHS = 120
+
+SPEC = MovieLensSpec(
+    name="recommender-demo", n_ratings=60_000, n_items=2_000,
+    n_users=400, last_updated=2020,
+)
+
+
+def top_n(model: MatrixFactorization, user: int, seen_items: set, n: int = 5):
+    """Rank all unseen items for ``user`` by predicted rating."""
+    candidates = np.array(
+        [i for i in range(model.n_items) if i not in seen_items], dtype=np.int64
+    )
+    scores = model.predict(np.full(len(candidates), user), candidates)
+    order = np.argsort(scores)[::-1][:n]
+    return list(zip(candidates[order].tolist(), scores[order].tolist()))
+
+
+def main():
+    dataset = generate_movielens(SPEC, seed=42)
+    split = dataset.split(0.7, seed=1)
+    train = partition_users_across_nodes(split.train, N_NODES, seed=2)
+    test = partition_users_across_nodes(split.test, N_NODES, seed=2)
+    topology = Topology.small_world(N_NODES, k=6, rewire_probability=0.03, seed=7)
+
+    config = RexConfig(
+        scheme=SharingScheme.DATA,
+        dissemination=Dissemination.DPSGD,
+        epochs=EPOCHS,
+        share_points=150,
+        mf=MfHyperParams(k=10),
+    )
+    print(f"training REX on {topology.name}: {N_NODES} nodes, {EPOCHS} epochs...")
+    sim = MfFleetSim(train, test, topology, config,
+                     global_mean=split.train.global_mean())
+    result = sim.run()
+    print(f"mean local test RMSE: {result.final_rmse:.4f} "
+          f"(started at {result.records[0].test_rmse:.4f})")
+    print(f"total traffic: {result.total_bytes / 2**20:.1f} MiB "
+          f"across {EPOCHS} epochs\n")
+
+    # Rebuild one node's trained model from the fleet's stacked arrays.
+    node = 0
+    node_users = sorted(set(train[node].users.tolist()))
+    model = MatrixFactorization(
+        dataset.n_users, dataset.n_items, config.mf,
+        seed=config.seed, global_mean=split.train.global_mean(),
+    )
+    model.user_factors[:] = sim.XU[node]
+    model.item_factors[:] = sim.YI[node]
+    model.user_bias[:] = sim.BU[node]
+    model.item_bias[:] = sim.BI[node]
+
+    print(f"node {node} serves users {node_users[:5]}... "
+          f"({len(node_users)} users)")
+    train_by_user = {}
+    for u, i, _r in split.train.iter_triplets():
+        train_by_user.setdefault(u, set()).add(i)
+
+    for user in node_users[:3]:
+        seen = train_by_user.get(user, set())
+        recs = top_n(model, user, seen)
+        rec_str = ", ".join(f"movie {item} ({score:.2f} stars)" for item, score in recs)
+        print(f"  user {user}: {rec_str}")
+
+    # Sanity: on the held-out set, the node's predictions for its own
+    # users beat the predict-the-mean baseline.
+    mask = np.isin(split.test.users, node_users)
+    local_test = split.test.take(np.flatnonzero(mask))
+    model_rmse = model.evaluate_rmse(local_test)
+    baseline = float(
+        np.sqrt(np.mean((split.train.global_mean() - local_test.ratings) ** 2))
+    )
+    print(f"\nnode {node} held-out RMSE: {model_rmse:.4f} "
+          f"(predict-the-mean baseline: {baseline:.4f})")
+
+
+if __name__ == "__main__":
+    main()

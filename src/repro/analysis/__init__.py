@@ -1,0 +1,25 @@
+"""Analysis: turn run results into the paper's tables and figure series.
+
+- :mod:`~repro.analysis.tables` -- Table I (datasets), Tables II/III
+  (time-to-target speed-ups), Table IV (SGX overhead and RAM).
+- :mod:`~repro.analysis.figures` -- the x/y series behind Figures 1-7.
+- :mod:`~repro.analysis.report` -- plain-text rendering used by the
+  benchmark harness and EXPERIMENTS.md.
+"""
+
+from repro.analysis.report import format_table, render_series
+from repro.analysis.tables import (
+    SpeedupRow,
+    dataset_table,
+    sgx_overhead_table,
+    speedup_table,
+)
+
+__all__ = [
+    "SpeedupRow",
+    "dataset_table",
+    "format_table",
+    "render_series",
+    "sgx_overhead_table",
+    "speedup_table",
+]

@@ -1,0 +1,69 @@
+"""Figure series extraction.
+
+Each helper returns the exact x/y series a paper figure plots, as plain
+dictionaries ``{series_label: (xs, ys)}`` that the benchmark harness
+prints (and that a notebook could plot).  Axis conventions follow the
+paper: Figures 1/4/6(c,d) plot test RMSE against elapsed time; Figure 2
+plots network volume and RMSE against epochs; Figure 3 sweeps the
+feature-vector size; Figures 5-7(a,b) are per-epoch stage/volume bars.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.sim.recorder import RunResult
+
+__all__ = [
+    "error_vs_time",
+    "error_vs_epochs",
+    "bytes_vs_epochs",
+    "stage_breakdown",
+    "volume_per_epoch",
+    "feature_sweep_summary",
+]
+
+Series = Tuple[List[float], List[float]]
+
+
+def error_vs_time(runs: Sequence[RunResult]) -> Dict[str, Series]:
+    """Figure 1/4/6(c,d): test RMSE against simulated elapsed time."""
+    return {run.label: (run.times(), run.rmses()) for run in runs}
+
+
+def error_vs_epochs(runs: Sequence[RunResult]) -> Dict[str, Series]:
+    """Figure 2 row 2 / Figure 5(c): test RMSE against epochs."""
+    return {run.label: ([float(e) for e in run.epochs()], run.rmses()) for run in runs}
+
+
+def bytes_vs_epochs(runs: Sequence[RunResult]) -> Dict[str, Series]:
+    """Figure 2 row 1: cumulative data exchanged against epochs."""
+    return {
+        run.label: ([float(e) for e in run.epochs()], [float(b) for b in run.cum_bytes()])
+        for run in runs
+    }
+
+
+def stage_breakdown(runs: Sequence[RunResult]) -> Dict[str, Dict[str, float]]:
+    """Figure 5(a)/6(a)/7(a): mean per-epoch stage durations."""
+    return {run.label: run.stage_means() for run in runs}
+
+
+def volume_per_epoch(runs: Sequence[RunResult]) -> Dict[str, float]:
+    """Figure 5(b)/6(b)/7(b): mean payload bytes per node per epoch."""
+    return {run.label: run.bytes_per_node_per_epoch() for run in runs}
+
+
+def feature_sweep_summary(
+    runs_by_k: Dict[int, RunResult]
+) -> List[Tuple[int, float, float]]:
+    """Figure 3 rows: (k, final RMSE, bytes per node per round).
+
+    For model sharing the bytes column grows linearly with k; for REX it
+    stays constant -- the figure's headline contrast.
+    """
+    rows = []
+    for k in sorted(runs_by_k):
+        run = runs_by_k[k]
+        rows.append((k, run.final_rmse, run.bytes_per_node_per_epoch()))
+    return rows

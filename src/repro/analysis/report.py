@@ -1,0 +1,58 @@
+"""Plain-text rendering for tables and figure series.
+
+The benchmark harness prints the paper's tables and figure data as text
+(the environment has no plotting stack); ``EXPERIMENTS.md`` embeds the
+same renderings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "render_series", "downsample"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]], *, title: str = "") -> str:
+    """Fixed-width text table."""
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt_row(cells):
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def downsample(values: Sequence, max_points: int = 12) -> List:
+    """Evenly thin a series for compact printing (keeps the endpoints)."""
+    values = list(values)
+    if len(values) <= max_points:
+        return values
+    step = (len(values) - 1) / (max_points - 1)
+    indices = sorted({round(i * step) for i in range(max_points)})
+    return [values[i] for i in indices]
+
+
+def render_series(
+    name: str,
+    xs: Sequence[float],
+    ys: Sequence[float],
+    *,
+    x_label: str = "x",
+    y_label: str = "y",
+    max_points: int = 12,
+) -> str:
+    """One downsampled series as aligned ``x -> y`` lines."""
+    pairs = downsample(list(zip(xs, ys)), max_points)
+    lines = [f"{name}  ({x_label} -> {y_label})"]
+    for x, y in pairs:
+        lines.append(f"  {x:>12.3f} -> {y:.4f}")
+    return "\n".join(lines)

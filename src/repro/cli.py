@@ -1,0 +1,192 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``simulate``
+    Run one decentralized training scenario (fleet simulator) and print
+    its summary: final RMSE, simulated time, traffic.
+``compare``
+    Run REX and MS back to back on the same scenario and print the
+    speed-up / traffic-ratio comparison.
+``datasets``
+    Print Table I for the synthetic MovieLens presets.
+``info``
+    Show the library version and the experiment environment knobs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+from repro.analysis.report import format_table
+from repro.analysis.tables import speedup_table
+from repro.core.config import Dissemination, RexConfig, SharingScheme
+from repro.data.movielens import (
+    MOVIELENS_25M_CAPPED,
+    MOVIELENS_LATEST,
+    MovieLensSpec,
+    generate_movielens,
+)
+from repro.data.partition import partition_users_across_nodes
+from repro.ml.mf import MfHyperParams
+from repro.net.topology import Topology
+from repro.sim.fleet import MfFleetSim
+from repro.sim.recorder import RunResult
+
+__all__ = ["main", "build_parser"]
+
+_TOPOLOGIES = ("sw", "er", "full", "ring")
+_SCHEMES = {"rex": SharingScheme.DATA, "ms": SharingScheme.MODEL}
+_DISSEMINATION = {"rmw": Dissemination.RMW, "d-psgd": Dissemination.DPSGD}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="REX decentralized recommender -- paper reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_scenario_args(p):
+        p.add_argument("--nodes", type=int, default=20, help="node count")
+        p.add_argument("--epochs", type=int, default=60)
+        p.add_argument("--topology", choices=_TOPOLOGIES, default="sw")
+        p.add_argument("--dissemination", choices=sorted(_DISSEMINATION), default="d-psgd")
+        p.add_argument("--share-points", type=int, default=100)
+        p.add_argument("--k", type=int, default=10, help="embedding dimension")
+        p.add_argument("--ratings", type=int, default=30_000)
+        p.add_argument("--users", type=int, default=200)
+        p.add_argument("--items", type=int, default=1_000)
+        p.add_argument("--seed", type=int, default=0)
+
+    sim = sub.add_parser("simulate", help="run one scenario")
+    add_scenario_args(sim)
+    sim.add_argument("--scheme", choices=sorted(_SCHEMES), default="rex")
+
+    cmp_ = sub.add_parser("compare", help="REX vs MS on the same scenario")
+    add_scenario_args(cmp_)
+
+    sub.add_parser("datasets", help="print Table I presets")
+    sub.add_parser("info", help="version and environment knobs")
+    return parser
+
+
+def _build_scenario(args):
+    spec = MovieLensSpec(
+        name=f"cli-{args.users}u",
+        n_ratings=args.ratings,
+        n_items=args.items,
+        n_users=args.users,
+        last_updated=2020,
+    )
+    split = generate_movielens(spec, seed=42).split(0.7, seed=1)
+    train = partition_users_across_nodes(split.train, args.nodes, seed=2)
+    test = partition_users_across_nodes(split.test, args.nodes, seed=2)
+    if args.topology == "sw":
+        topo = Topology.small_world(args.nodes, k=min(6, args.nodes - args.nodes % 2 - 2) or 2,
+                                    rewire_probability=0.03, seed=7)
+    elif args.topology == "er":
+        topo = Topology.erdos_renyi(args.nodes, p=0.1, seed=7)
+    elif args.topology == "ring":
+        topo = Topology.ring(args.nodes)
+    else:
+        topo = Topology.fully_connected(args.nodes)
+    return split, train, test, topo
+
+
+def _run_scheme(args, scheme: SharingScheme, scenario) -> RunResult:
+    split, train, test, topo = scenario
+    config = RexConfig(
+        scheme=scheme,
+        dissemination=_DISSEMINATION[args.dissemination],
+        epochs=args.epochs,
+        share_points=args.share_points,
+        seed=args.seed,
+        mf=MfHyperParams(k=args.k),
+    )
+    sim = MfFleetSim(train, test, topo, config, global_mean=split.train.global_mean())
+    return sim.run()
+
+
+def _summary_row(result: RunResult) -> List[str]:
+    return [
+        result.label,
+        f"{result.final_rmse:.4f}",
+        f"{result.total_time_s:.1f}",
+        f"{result.total_bytes / 2**20:.2f}",
+    ]
+
+
+def cmd_simulate(args) -> int:
+    result = _run_scheme(args, _SCHEMES[args.scheme], _build_scenario(args))
+    print(
+        format_table(
+            ["run", "final RMSE", "sim time [s]", "MiB moved"],
+            [_summary_row(result)],
+        )
+    )
+    return 0
+
+
+def cmd_compare(args) -> int:
+    scenario = _build_scenario(args)
+    rex = _run_scheme(args, SharingScheme.DATA, scenario)
+    ms = _run_scheme(args, SharingScheme.MODEL, scenario)
+    print(
+        format_table(
+            ["run", "final RMSE", "sim time [s]", "MiB moved"],
+            [_summary_row(rex), _summary_row(ms)],
+        )
+    )
+    rows = speedup_table(
+        [(f"{args.dissemination.upper()}, {args.topology.upper()}", rex, ms)],
+        target_rule="joint",
+        target_margin=0.002,
+    )
+    row = rows[0]
+    if row.speedup is not None:
+        print(f"\nREX reaches RMSE {row.error_target:.3f} "
+              f"{row.speedup:.1f}x sooner than MS "
+              f"({row.rex_time_s:.1f}s vs {row.ms_time_s:.1f}s)")
+    print(f"traffic ratio MS/REX: {ms.total_bytes / max(1, rex.total_bytes):.0f}x")
+    return 0
+
+
+def cmd_datasets(_args) -> int:
+    rows = []
+    for spec in (MOVIELENS_LATEST, MOVIELENS_25M_CAPPED):
+        rows.append(
+            [spec.name, f"{spec.n_ratings:,}", f"{spec.n_items:,}",
+             f"{spec.n_users:,}", str(spec.last_updated)]
+        )
+    print(format_table(["dataset", "ratings", "items", "users", "last updated"],
+                       rows, title="Table I presets"))
+    return 0
+
+
+def cmd_info(_args) -> int:
+    import os
+
+    print(f"repro {__version__} -- REX (IPDPS 2022) reproduction")
+    print(f"REPRO_EPOCH_SCALE = {os.environ.get('REPRO_EPOCH_SCALE', '0.4 (default)')}")
+    print(f"REPRO_NO_CACHE    = {os.environ.get('REPRO_NO_CACHE', '0 (default)')}")
+    print(f"REPRO_CACHE_DIR   = {os.environ.get('REPRO_CACHE_DIR', '.repro_cache (default)')}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "simulate": cmd_simulate,
+        "compare": cmd_compare,
+        "datasets": cmd_datasets,
+        "info": cmd_info,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""REX core: the paper's contribution.
+
+- :mod:`~repro.core.config` -- the experiment vocabulary (REX/MS, RMW/
+  D-PSGD, MF/DNN).
+- :mod:`~repro.core.app` -- the trusted enclave application
+  (Algorithm 2): attestation, secure channels, and the merge / train /
+  share / test protocol with the raw-data-sharing fast path.
+- :mod:`~repro.core.host` -- the untrusted runtime (Algorithm 1).
+- :mod:`~repro.core.cluster` -- a full multi-platform deployment.
+- :mod:`~repro.core.store` -- the deduplicating protected data store.
+- :mod:`~repro.core.channel` -- AEAD channels with replay protection.
+"""
+
+from repro.core.app import RexEnclaveApp
+from repro.core.channel import (
+    AccountedChannel,
+    PlaintextChannel,
+    ReplayError,
+    SecureChannel,
+)
+from repro.core.cluster import ClusterRun, RexCluster
+from repro.core.config import (
+    CryptoMode,
+    Dissemination,
+    ModelKind,
+    RexConfig,
+    SharingScheme,
+)
+from repro.core.host import RexHost
+from repro.core.stats import EpochStats
+from repro.core.store import DataStore
+
+__all__ = [
+    "AccountedChannel",
+    "ClusterRun",
+    "CryptoMode",
+    "DataStore",
+    "Dissemination",
+    "EpochStats",
+    "ModelKind",
+    "PlaintextChannel",
+    "ReplayError",
+    "RexCluster",
+    "RexConfig",
+    "RexEnclaveApp",
+    "RexHost",
+    "SecureChannel",
+    "SharingScheme",
+]

@@ -1,0 +1,356 @@
+"""The REX trusted application -- the code that runs inside the enclave.
+
+This is the paper's Algorithm 2.  Two entry points exist:
+
+- :meth:`RexEnclaveApp.ecall_init` copies the node's local dataset shard
+  into protected memory, initializes the model and data store, kicks off
+  mutual attestation with every neighbor (secure build) and runs epoch 0
+  -- the first training on the initial local data.
+- :meth:`RexEnclaveApp.ecall_input` receives one network message from the
+  untrusted host: a clear-text attestation quote, or a sealed protocol
+  payload that is decrypted, buffered, and -- once a message (possibly
+  empty) has arrived from *all* neighbors -- triggers the next
+  merge / train / share / test round.
+
+Everything the host sees leave the enclave is either an attestation quote
+or AEAD ciphertext; raw triplets and model parameters exist in plaintext
+only inside this class (and the peers' equally attested instances).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro._rng import child_rng, stream_seed
+from repro.core.channel import AccountedChannel, PlaintextChannel, SecureChannel
+from repro.core.config import CryptoMode, Dissemination, ModelKind, RexConfig, SharingScheme
+from repro.core.messages import (
+    CONTENT_DNN_MODEL,
+    CONTENT_EMPTY,
+    CONTENT_MF_MODEL,
+    CONTENT_TRIPLETS,
+    KIND_PAYLOAD,
+    KIND_QUOTE,
+    PayloadHeader,
+    pack_payload,
+    unpack_payload,
+)
+from repro.core.stats import EpochStats
+from repro.core.store import DataStore
+from repro.data.dataset import RatingsDataset
+from repro.ml.dnn.model import DnnRecommender
+from repro.ml.mf import MatrixFactorization
+from repro.net.serialization import (
+    decode_dnn_state,
+    decode_mf_state,
+    decode_triplets,
+    encode_dnn_state,
+    encode_mf_state,
+    encode_triplets,
+)
+from repro.tee.attestation import MutualAttestation, Quote
+from repro.tee.enclave import TrustedApp, ecall
+from repro.tee.errors import ChannelNotEstablished
+
+__all__ = ["RexEnclaveApp"]
+
+
+class RexEnclaveApp(TrustedApp):
+    """Enclave-resident REX node (Algorithm 2)."""
+
+    # ------------------------------------------------------------------ #
+    # Entry point: initialization (Algorithm 2 lines 1-4)
+    # ------------------------------------------------------------------ #
+    @ecall
+    def ecall_init(self, args: dict) -> None:
+        """Copy the local shard into protected memory and bootstrap.
+
+        ``args`` carries only serializable values across the boundary:
+        the node/neighbor ids, the :class:`RexConfig`, the train/test
+        shards as encoded triplet payloads, the id-space sizes, the
+        global rating mean and the ``secure`` build flag.
+        """
+        self.node_id: int = int(args["node_id"])
+        self.neighbors: Tuple[int, ...] = tuple(int(n) for n in args["neighbors"])
+        self.degree = len(self.neighbors)
+        self.config: RexConfig = args["config"]
+        self.secure: bool = bool(args["secure"])
+        n_users = int(args["n_users"])
+        n_items = int(args["n_items"])
+
+        train = decode_triplets(args["train"])
+        self.test_data = decode_triplets(args["test"])
+        self.local_rng = child_rng(self.config.seed, "node", self.node_id)
+
+        self.store = DataStore(n_users, n_items, capacity=max(1024, len(train)))
+        self.store.append_unique(train)
+
+        if self.config.model is ModelKind.MF:
+            self.model = MatrixFactorization(
+                n_users,
+                n_items,
+                self.config.mf,
+                seed=self.config.seed,  # identical initial code AND weights
+                global_mean=float(args.get("global_mean", 3.5)),
+            )
+        else:
+            self.model = DnnRecommender(n_users, n_items, self.config.dnn, seed=self.config.seed)
+        self.model.mark_seen(train)
+
+        self.attestor = MutualAttestation(
+            f"rex-{self.node_id}",
+            self.ctx.measurement,
+            self.ctx.attestation_service(),
+            key_seed=stream_seed(self.config.seed, "dh", self.node_id).to_bytes(8, "little"),
+        )
+        self.channels: Dict[int, object] = {}
+        self.epoch = 0
+        self._epoch_zero_done = False
+        self._inbox: Dict[int, Dict[int, Tuple[PayloadHeader, bytes]]] = {}
+        self._current_stats: Optional[EpochStats] = None
+        self._counter_mark = None
+
+        self._account_memory(staging=0)
+
+        if self.secure:
+            quote_bytes = self._make_quote().to_bytes()
+            for neighbor in self.neighbors:
+                self.ctx.ocall("send_message", neighbor, KIND_QUOTE, quote_bytes)
+        else:
+            for neighbor in self.neighbors:
+                self.channels[neighbor] = PlaintextChannel(self.node_id, neighbor)
+            self._maybe_start()
+        if not self.neighbors:
+            self._maybe_start()
+
+    # ------------------------------------------------------------------ #
+    # Entry point: message reception (Algorithm 2 lines 5-11)
+    # ------------------------------------------------------------------ #
+    @ecall
+    def ecall_input(self, src: int, kind: str, blob: bytes) -> None:
+        """Dispatch one message: attestation or sealed protocol payload."""
+        src = int(src)
+        if kind == KIND_QUOTE:
+            self._handle_quote(src, blob)
+        elif kind == KIND_PAYLOAD:
+            self._handle_payload(src, blob)
+        else:
+            raise ValueError(f"unknown message kind {kind!r}")
+
+    @ecall
+    def ecall_status(self) -> dict:
+        """Introspection for the host/tests (no secrets leave)."""
+        return {
+            "node_id": self.node_id,
+            "epoch": self.epoch,
+            "attested_peers": len(self.channels),
+            "store_items": len(self.store),
+            "test_rmse": self.model.evaluate_rmse(self.test_data),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Attestation (Section III-A)
+    # ------------------------------------------------------------------ #
+    def _make_quote(self) -> Quote:
+        report = self.ctx.create_report(self.attestor.user_data())
+        return self.ctx.ocall("get_quote", report)
+
+    def _handle_quote(self, src: int, blob: bytes) -> None:
+        if not self.secure:
+            raise ChannelNotEstablished("native build received an attestation quote")
+        if src in self.channels:
+            return  # duplicate quote; channel already established
+        quote = Quote.from_bytes(bytes(blob))
+        key = self.attestor.process_peer_quote(f"rex-{src}", quote)
+        if self.config.crypto_mode is CryptoMode.REAL:
+            self.channels[src] = SecureChannel(key, self.node_id, src)
+        else:
+            self.channels[src] = AccountedChannel(key, self.node_id, src)
+        self._maybe_start()
+
+    def _maybe_start(self) -> None:
+        """Run epoch 0 once every neighbor channel exists."""
+        if self._epoch_zero_done:
+            return
+        if len(self.channels) == len(self.neighbors):
+            self._epoch_zero_done = True
+            self._run_round(received=None)
+
+    # ------------------------------------------------------------------ #
+    # Protocol payloads (Algorithm 2 lines 12-21)
+    # ------------------------------------------------------------------ #
+    def _handle_payload(self, src: int, blob: bytes) -> None:
+        channel = self.channels.get(src)
+        if channel is None:
+            raise ChannelNotEstablished(f"payload from unattested peer {src}")
+        plaintext = channel.open(bytes(blob))
+        header, content = unpack_payload(plaintext)
+        self._inbox.setdefault(header.epoch, {})[src] = (header, content)
+        self._try_advance()
+
+    def _try_advance(self) -> None:
+        """ready_to_train check: one message from every neighbor."""
+        if not self._epoch_zero_done:
+            return
+        while True:
+            waiting_on = self._inbox.get(self.epoch - 1, {})
+            if len(waiting_on) < len(self.neighbors):
+                return
+            received = self._inbox.pop(self.epoch - 1)
+            self._run_round(received)
+
+    def _run_round(self, received: Optional[Dict[int, Tuple[PayloadHeader, bytes]]]) -> None:
+        """One merge / train / share / test round."""
+        stats = EpochStats(node_id=self.node_id, epoch=self.epoch)
+        staging_peak = 0
+
+        # -- merge (lines 15-16) ---------------------------------------- #
+        if received:
+            if self.config.scheme is SharingScheme.DATA:
+                staging_peak = self._merge_data(received, stats)
+            else:
+                staging_peak = self._merge_models(received, stats)
+
+        # -- train (line 17) --------------------------------------------- #
+        stats.train_samples = self.model.train_epoch(self.store.as_dataset(), self.local_rng)
+
+        # -- share (lines 18-20) ------------------------------------------ #
+        self._share(stats)
+
+        # -- test (line 21) ----------------------------------------------- #
+        stats.test_rmse = self.model.evaluate_rmse(self.test_data)
+        stats.test_samples = len(self.test_data)
+
+        stats.store_items = len(self.store)
+        stats.store_bytes = self.store.nbytes
+        stats.model_bytes = self.model.resident_bytes
+        stats.staging_bytes = staging_peak
+        self._account_memory(staging=staging_peak)
+
+        self.epoch += 1
+        self.ctx.ocall("report_stats", stats)
+
+    # ------------------------------------------------------------------ #
+    # Merge implementations (Section III-C)
+    # ------------------------------------------------------------------ #
+    def _merge_data(self, received: Dict[int, Tuple[PayloadHeader, bytes]], stats: EpochStats) -> int:
+        staging = 0
+        for _src, (header, content) in sorted(received.items()):
+            if header.content == CONTENT_EMPTY:
+                continue
+            if header.content != CONTENT_TRIPLETS:
+                raise ValueError("data-sharing run received a model payload")
+            alien = decode_triplets(content)
+            staging = max(staging, alien.nbytes + len(content))
+            stats.dedup_checked_items += len(alien)
+            if self.config.dedup:
+                added = self.store.append_unique(alien)
+            else:
+                added = self.store.append(alien)
+            stats.appended_items += added
+            if added:
+                self.model.mark_seen(alien)
+        return staging
+
+    def _merge_models(
+        self, received: Dict[int, Tuple[PayloadHeader, bytes]], stats: EpochStats
+    ) -> int:
+        expected = (
+            CONTENT_MF_MODEL if self.config.model is ModelKind.MF else CONTENT_DNN_MODEL
+        )
+        decode = decode_mf_state if self.config.model is ModelKind.MF else decode_dnn_state
+        incoming = []
+        staging = 0
+        for src, (header, content) in sorted(received.items()):
+            if header.content == CONTENT_EMPTY:
+                continue
+            if header.content != expected:
+                raise ValueError("model-sharing run received a mismatched payload")
+            state = decode(content)
+            staging += len(content) + _state_nbytes(state)
+            incoming.append((src, header, state))
+
+        if not incoming:
+            return staging
+        if self.config.dissemination is Dissemination.RMW:
+            for _src, _header, state in incoming:
+                self.model.merge_average(state)
+                stats.merged_models += 1
+                stats.merged_rows += _state_rows(state)
+        else:
+            contributions = []
+            weight_total = 0.0
+            for _src, header, state in incoming:
+                w = 1.0 / (1.0 + max(self.degree, header.degree))
+                contributions.append((state, w))
+                weight_total += w
+                stats.merged_models += 1
+                stats.merged_rows += _state_rows(state)
+            self.model.merge_weighted(contributions, self_weight=1.0 - weight_total)
+        return staging
+
+    # ------------------------------------------------------------------ #
+    # Share (Section III-C / III-E)
+    # ------------------------------------------------------------------ #
+    def _share(self, stats: EpochStats) -> None:
+        if not self.neighbors:
+            return
+        if self.config.scheme is SharingScheme.DATA:
+            sample = self.store.sample(self.config.share_points, self.local_rng)
+            content = encode_triplets(sample)
+            content_kind = CONTENT_TRIPLETS
+            stats.share_sampled_items = len(sample)
+        else:
+            state = self.model.state()
+            if self.config.model is ModelKind.MF:
+                wire_dtype = "<f8" if self.config.mf.np_dtype == np.float64 else "<f4"
+                content = encode_mf_state(state, wire_dtype=wire_dtype)
+            else:
+                content = encode_dnn_state(state)
+            content_kind = CONTENT_MF_MODEL if self.config.model is ModelKind.MF else CONTENT_DNN_MODEL
+        stats.serialized_bytes += len(content)
+
+        if self.config.dissemination is Dissemination.RMW:
+            chosen = int(self.neighbors[self.local_rng.integers(0, len(self.neighbors))])
+        else:
+            chosen = None  # broadcast
+
+        header_full = PayloadHeader(self.node_id, self.epoch, self.degree, content_kind)
+        header_empty = PayloadHeader(self.node_id, self.epoch, self.degree, CONTENT_EMPTY)
+        for neighbor in self.neighbors:
+            if chosen is None or neighbor == chosen:
+                plaintext = pack_payload(header_full, content)
+                stats.shared_messages += 1
+            else:
+                # RMW barrier message: header only, no content.
+                plaintext = pack_payload(header_empty, b"")
+                stats.shared_empty_messages += 1
+            wire = self.channels[neighbor].seal(plaintext)
+            stats.shared_payload_bytes += len(wire)
+            self.ctx.ocall("send_message", neighbor, KIND_PAYLOAD, wire)
+
+    # ------------------------------------------------------------------ #
+    # Memory accounting
+    # ------------------------------------------------------------------ #
+    def _account_memory(self, *, staging: int) -> None:
+        self.ctx.memory.set("store", self.store.nbytes)
+        self.ctx.memory.set("model", self.model.resident_bytes)
+        self.ctx.memory.set("test", self.test_data.nbytes)
+        if staging:
+            self.ctx.memory.set("staging", staging)
+            self.ctx.memory.free("staging")
+
+
+def _state_nbytes(state) -> int:
+    total = 0
+    for value in state.__dict__.values():
+        nbytes = getattr(value, "nbytes", None)
+        if nbytes is not None:
+            total += int(nbytes)
+    return total
+
+
+def _state_rows(state) -> int:
+    return int(state.user_seen.sum()) + int(state.item_seen.sum())

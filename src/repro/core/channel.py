@@ -1,0 +1,119 @@
+"""Pairwise secure channels between attested enclaves.
+
+After mutual attestation, each pair of REX nodes shares a 32-byte key
+(paper Section III-A).  A :class:`SecureChannel` wraps that key with
+ChaCha20-Poly1305, sequence-numbered nonces and replay rejection: the
+untrusted host relaying the bytes can neither read, modify, reorder
+undetectably, nor replay them.
+
+Wire format of one sealed message: ``u64 seq | ciphertext+tag`` where the
+nonce is ``le64(seq) || le32(sender_id)`` -- unique per direction because
+each direction has its own monotonically increasing counter.
+
+:class:`AccountedChannel` is the fidelity knob for huge experiments: the
+same 28-byte framing overhead and the same interface, but the payload is
+passed through unencrypted so the simulator does not burn hours of real
+cipher time.  Its use is confined to experiment configs that declare
+``CryptoMode.ACCOUNTED``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.tee.crypto.aead import ChaCha20Poly1305, TAG_LENGTH
+from repro.tee.errors import ChannelNotEstablished
+
+__all__ = [
+    "SecureChannel",
+    "AccountedChannel",
+    "PlaintextChannel",
+    "CHANNEL_OVERHEAD_BYTES",
+    "ReplayError",
+]
+
+#: Framing bytes added to every sealed payload: 8 (seq) + 16 (tag) + 4 pad.
+CHANNEL_OVERHEAD_BYTES = 8 + TAG_LENGTH
+
+
+class ReplayError(ChannelNotEstablished):
+    """A sealed message arrived with a non-monotonic sequence number."""
+
+
+class SecureChannel:
+    """One direction-aware AEAD channel bound to a pairwise key."""
+
+    def __init__(self, key: bytes, local_id: int, peer_id: int):
+        self._cipher = ChaCha20Poly1305(key)
+        self.local_id = int(local_id)
+        self.peer_id = int(peer_id)
+        self._send_seq = 0
+        self._highest_received = -1
+
+    @staticmethod
+    def _nonce(seq: int, sender_id: int) -> bytes:
+        return struct.pack("<QI", seq, sender_id)
+
+    def seal(self, plaintext: bytes, aad: bytes = b"") -> bytes:
+        """Encrypt ``plaintext``; returns the framed wire bytes."""
+        seq = self._send_seq
+        self._send_seq += 1
+        sealed = self._cipher.encrypt(self._nonce(seq, self.local_id), plaintext, aad)
+        return struct.pack("<Q", seq) + sealed
+
+    def open(self, wire: bytes, aad: bytes = b"") -> bytes:
+        """Authenticate, replay-check and decrypt a framed message."""
+        if len(wire) < 8 + TAG_LENGTH:
+            raise ChannelNotEstablished("sealed message too short")
+        (seq,) = struct.unpack_from("<Q", wire, 0)
+        if seq <= self._highest_received:
+            raise ReplayError(f"sequence {seq} already seen on this channel")
+        plaintext = self._cipher.decrypt(self._nonce(seq, self.peer_id), wire[8:], aad)
+        self._highest_received = seq
+        return plaintext
+
+    def overhead(self) -> int:
+        return CHANNEL_OVERHEAD_BYTES
+
+
+class AccountedChannel(SecureChannel):
+    """Size-faithful channel that skips the cipher work (see module doc)."""
+
+    def __init__(self, key: bytes, local_id: int, peer_id: int):
+        super().__init__(key, local_id, peer_id)
+
+    def seal(self, plaintext: bytes, aad: bytes = b"") -> bytes:
+        seq = self._send_seq
+        self._send_seq += 1
+        return struct.pack("<Q", seq) + plaintext + b"\x00" * TAG_LENGTH
+
+    def open(self, wire: bytes, aad: bytes = b"") -> bytes:
+        if len(wire) < 8 + TAG_LENGTH:
+            raise ChannelNotEstablished("sealed message too short")
+        (seq,) = struct.unpack_from("<Q", wire, 0)
+        if seq <= self._highest_received:
+            raise ReplayError(f"sequence {seq} already seen on this channel")
+        self._highest_received = seq
+        return wire[8:-TAG_LENGTH]
+
+
+class PlaintextChannel:
+    """The native (no-SGX) build's channel: plaintext, zero overhead.
+
+    The paper's native baseline transmits in clear -- "both raw data and
+    models are therefore vulnerable in this case" (Section IV-D); this
+    class exists so the same protocol code runs in both builds.
+    """
+
+    def __init__(self, local_id: int, peer_id: int):
+        self.local_id = int(local_id)
+        self.peer_id = int(peer_id)
+
+    def seal(self, plaintext: bytes, aad: bytes = b"") -> bytes:
+        return plaintext
+
+    def open(self, wire: bytes, aad: bytes = b"") -> bytes:
+        return wire
+
+    def overhead(self) -> int:
+        return 0

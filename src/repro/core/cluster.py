@@ -1,0 +1,143 @@
+"""A full distributed REX deployment in one process.
+
+Builds the paper's hardware setup as objects: SGX platforms (the paper
+uses 4 machines running 2 REX processes each), one enclave + untrusted
+host per node, an in-process network, and a topology.  ``run`` pumps
+messages until every node has completed the requested number of epochs --
+event-driven, exactly like the real system, with the epoch barrier
+("a message from all neighbors") enforced inside the enclaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro._rng import child_rng
+from repro.core.config import RexConfig
+from repro.core.host import RexHost
+from repro.core.stats import EpochStats
+from repro.data.dataset import RatingsDataset
+from repro.net.topology import Topology
+from repro.net.transport import Network
+from repro.tee.attestation import AttestationService
+from repro.tee.enclave import Platform
+from repro.tee.epc import EpcModel
+
+__all__ = ["RexCluster", "ClusterRun"]
+
+
+@dataclass
+class ClusterRun:
+    """Everything a run produced, ready for the time/cost models."""
+
+    config: RexConfig
+    secure: bool
+    topology: Topology
+    #: per-node list of per-epoch stats
+    node_stats: Dict[int, List[EpochStats]]
+    total_network_bytes: int
+    total_network_messages: int
+    attestation_messages: int
+    epc: EpcModel
+
+    def stats_for_epoch(self, epoch: int) -> List[EpochStats]:
+        return [
+            stats[epoch]
+            for stats in self.node_stats.values()
+            if epoch < len(stats)
+        ]
+
+    @property
+    def epochs_completed(self) -> int:
+        return min(len(stats) for stats in self.node_stats.values())
+
+
+class RexCluster:
+    """Build and run a distributed REX deployment."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: RexConfig,
+        *,
+        secure: bool = True,
+        nodes_per_machine: int = 2,
+        epc: Optional[EpcModel] = None,
+    ):
+        self.topology = topology
+        self.config = config
+        self.secure = secure
+        n_nodes = topology.n_nodes
+        n_machines = (n_nodes + nodes_per_machine - 1) // nodes_per_machine
+        self.epc = epc if epc is not None else EpcModel(enclaves_per_machine=nodes_per_machine)
+
+        self.attestation_service = AttestationService()
+        self.platforms = [
+            Platform(f"sgx-machine-{m}", self.attestation_service, epc=self.epc)
+            for m in range(n_machines)
+        ]
+        self.network = Network()
+        self.hosts: List[RexHost] = []
+        for node in range(n_nodes):
+            platform = self.platforms[node // nodes_per_machine]
+            endpoint = self.network.endpoint(node)
+            self.hosts.append(RexHost(node, platform, endpoint))
+
+    def bootstrap(
+        self,
+        train_shards: Sequence[RatingsDataset],
+        test_shards: Sequence[RatingsDataset],
+        *,
+        global_mean: float = 3.5,
+    ) -> None:
+        if len(train_shards) != self.topology.n_nodes:
+            raise ValueError("one train shard per node required")
+        for host in self.hosts:
+            host.bootstrap(
+                self.config,
+                train_shards[host.node_id],
+                test_shards[host.node_id],
+                self.topology.neighbors(host.node_id),
+                secure=self.secure,
+                global_mean=global_mean,
+            )
+
+    def run(
+        self,
+        train_shards: Sequence[RatingsDataset],
+        test_shards: Sequence[RatingsDataset],
+        *,
+        global_mean: float = 3.5,
+    ) -> ClusterRun:
+        """Bootstrap and pump until every node completed ``config.epochs``."""
+        self.bootstrap(train_shards, test_shards, global_mean=global_mean)
+
+        target = self.config.epochs
+        while True:
+            moved = 0
+            done = True
+            for host in self.hosts:
+                moved += host.pump()
+                if len(host.epoch_stats) < target:
+                    done = False
+            if done:
+                break
+            if moved == 0:
+                laggards = [
+                    host.node_id for host in self.hosts if len(host.epoch_stats) < target
+                ]
+                raise RuntimeError(
+                    f"protocol stalled: no messages in flight but nodes {laggards} "
+                    f"have not reached epoch {target}"
+                )
+        return ClusterRun(
+            config=self.config,
+            secure=self.secure,
+            topology=self.topology,
+            node_stats={host.node_id: host.epoch_stats for host in self.hosts},
+            total_network_bytes=self.network.meter.total_bytes,
+            total_network_messages=self.network.meter.total_messages,
+            attestation_messages=self.network.meter.kind_messages.get("quote", 0),
+            epc=self.epc,
+        )

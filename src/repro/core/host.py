@@ -1,0 +1,104 @@
+"""The untrusted host runtime -- the paper's Algorithm 1.
+
+The host owns everything an enclave must not: the network endpoint, the
+dataset files and the bootstrap sequence.  It relays inbound messages into
+the enclave (``ecall_input``), proxies outbound sends and quoting requests
+as ocalls, and collects the per-epoch statistics the trusted code reports.
+It never sees a decrypted payload in the secure build.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.app import RexEnclaveApp
+from repro.core.config import RexConfig
+from repro.core.stats import EpochStats
+from repro.data.dataset import RatingsDataset
+from repro.net.serialization import encode_triplets
+from repro.net.transport import Endpoint
+from repro.tee.enclave import Platform
+
+__all__ = ["RexHost"]
+
+
+class RexHost:
+    """Bootstrap + I/O relay for one REX node (Algorithm 1)."""
+
+    def __init__(
+        self,
+        node_id: int,
+        platform: Platform,
+        endpoint: Endpoint,
+        *,
+        on_stats: Optional[Callable[[EpochStats], None]] = None,
+    ):
+        self.node_id = node_id
+        self.platform = platform
+        self.endpoint = endpoint
+        self.enclave = platform.create_enclave(RexEnclaveApp, f"rex-node-{node_id}")
+        self.epoch_stats: List[EpochStats] = []
+        self._on_stats = on_stats
+        self._counter_mark = self.enclave.counters.snapshot()
+
+        self.enclave.register_ocall("send_message", self._ocall_send)
+        self.enclave.register_ocall("get_quote", self.enclave.get_quote)
+        self.enclave.register_ocall("report_stats", self._ocall_report_stats)
+
+    # ------------------------------------------------------------------ #
+    # Ocall proxies
+    # ------------------------------------------------------------------ #
+    def _ocall_send(self, destination: int, kind: str, payload: bytes) -> None:
+        self.endpoint.send(int(destination), payload, kind=kind)
+
+    def _ocall_report_stats(self, stats: EpochStats) -> None:
+        # Attach the boundary-crossing counts accumulated since the last
+        # report; the SGX cost model charges transitions from these.
+        counters = self.enclave.counters.snapshot()
+        delta = counters.delta(self._counter_mark)
+        self._counter_mark = counters
+        stats.ecalls = delta.ecalls
+        stats.ocalls = delta.ocalls
+        stats.transition_bytes = delta.ecall_bytes + delta.ocall_bytes
+        self.epoch_stats.append(stats)
+        if self._on_stats is not None:
+            self._on_stats(stats)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle (Algorithm 1 lines 1-6)
+    # ------------------------------------------------------------------ #
+    def bootstrap(
+        self,
+        config: RexConfig,
+        train: RatingsDataset,
+        test: RatingsDataset,
+        neighbors,
+        *,
+        secure: bool,
+        global_mean: float = 3.5,
+    ) -> None:
+        """Read the shard, start the enclave, trigger ``ecall_init``."""
+        self.enclave.ecall(
+            "ecall_init",
+            {
+                "node_id": self.node_id,
+                "neighbors": tuple(int(n) for n in neighbors),
+                "config": config,
+                "train": encode_triplets(train),
+                "test": encode_triplets(test),
+                "n_users": train.n_users,
+                "n_items": train.n_items,
+                "global_mean": global_mean,
+                "secure": secure,
+            },
+        )
+
+    def pump(self) -> int:
+        """Relay all pending inbound messages into the enclave."""
+        messages = self.endpoint.poll()
+        for message in messages:
+            self.enclave.ecall("ecall_input", message.source, message.kind, message.payload)
+        return len(messages)
+
+    def status(self) -> Dict:
+        return self.enclave.ecall("ecall_status")

@@ -1,0 +1,72 @@
+"""REX protocol message framing.
+
+Two message kinds cross the untrusted network (paper Algorithm 1):
+
+- ``KIND_QUOTE`` -- attestation quotes, sent in clear text.  "No privacy
+  threat happens here as only attestation messages, which are not
+  privacy-sensitive, are exchanged in clear text"; forging them fails at
+  verification.
+- ``KIND_PAYLOAD`` -- sealed protocol payloads.  The plaintext inside the
+  channel is a small header (epoch, sender degree for the
+  Metropolis-Hastings weights, content tag) followed by the encoded
+  content: raw triplets (DS), a serialized model (MS), or nothing (the
+  "possibly empty" barrier message of Algorithm 2 line 13).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+__all__ = [
+    "KIND_QUOTE",
+    "KIND_PAYLOAD",
+    "CONTENT_EMPTY",
+    "CONTENT_TRIPLETS",
+    "CONTENT_MF_MODEL",
+    "CONTENT_DNN_MODEL",
+    "PayloadHeader",
+    "pack_payload",
+    "unpack_payload",
+]
+
+KIND_QUOTE = "quote"
+KIND_PAYLOAD = "payload"
+
+CONTENT_EMPTY = 0
+CONTENT_TRIPLETS = 1
+CONTENT_MF_MODEL = 2
+CONTENT_DNN_MODEL = 3
+
+_HEADER = struct.Struct("<IIIB3x")  # sender, epoch, degree, content kind
+HEADER_BYTES = _HEADER.size
+
+
+@dataclass(frozen=True)
+class PayloadHeader:
+    """Metadata travelling (sealed) with every protocol payload."""
+
+    sender: int
+    epoch: int
+    degree: int
+    content: int
+
+    def pack(self) -> bytes:
+        return _HEADER.pack(self.sender, self.epoch, self.degree, self.content)
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "PayloadHeader":
+        sender, epoch, degree, content = _HEADER.unpack_from(raw, 0)
+        return cls(sender, epoch, degree, content)
+
+
+def pack_payload(header: PayloadHeader, content: bytes) -> bytes:
+    """Header + content, the plaintext a channel seals."""
+    return header.pack() + content
+
+
+def unpack_payload(plaintext: bytes) -> tuple:
+    """Split a channel-opened plaintext back into header and content."""
+    if len(plaintext) < HEADER_BYTES:
+        raise ValueError("payload shorter than its header")
+    return PayloadHeader.unpack(plaintext), plaintext[HEADER_BYTES:]

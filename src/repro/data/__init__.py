@@ -1,0 +1,33 @@
+"""Data substrate: rating datasets, synthetic MovieLens, partitioners.
+
+The paper evaluates on MovieLens Latest (100k ratings / 9k items / 610
+users) and MovieLens 25M capped at 15,000 users (Table I).  Real MovieLens
+files are not redistributable nor downloadable here, so
+:mod:`~repro.data.movielens` synthesizes statistically matched stand-ins
+(see DESIGN.md for the substitution argument); everything downstream
+consumes the neutral :class:`~repro.data.dataset.RatingsDataset` interface
+and never knows the difference.
+"""
+
+from repro.data.dataset import RatingsDataset, TrainTestSplit
+from repro.data.movielens import (
+    MOVIELENS_25M_CAPPED,
+    MOVIELENS_LATEST,
+    MovieLensSpec,
+    generate_movielens,
+)
+from repro.data.partition import (
+    partition_one_user_per_node,
+    partition_users_across_nodes,
+)
+
+__all__ = [
+    "MOVIELENS_25M_CAPPED",
+    "MOVIELENS_LATEST",
+    "MovieLensSpec",
+    "RatingsDataset",
+    "TrainTestSplit",
+    "generate_movielens",
+    "partition_one_user_per_node",
+    "partition_users_across_nodes",
+]

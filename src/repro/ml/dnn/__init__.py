@@ -1,0 +1,29 @@
+"""From-scratch DNN recommender (the paper's PyTorch model, in NumPy).
+
+The paper's DNN (Section IV-A3b) embeds user and item ids (k=20),
+concatenates the embeddings, and feeds them through four hidden
+Linear+ReLU layers with dropout (0.02 on the embedding layer, 0.15 on the
+first two hidden layers) and a final ReLU, totalling 215,001 parameters on
+the 610-user / 9,000-item dataset.  Training uses Adam (eta=1e-4, weight
+decay=1e-5).
+
+This package re-implements all of it with manual backpropagation on NumPy
+arrays -- layers, Adam, and the recommender itself -- so no deep-learning
+framework is needed.
+"""
+
+from repro.ml.dnn.layers import Dropout, Linear, Parameter, ReLU, Sequential
+from repro.ml.dnn.model import DnnHyperParams, DnnRecommender, DnnState
+from repro.ml.dnn.optim import Adam
+
+__all__ = [
+    "Adam",
+    "DnnHyperParams",
+    "DnnRecommender",
+    "DnnState",
+    "Dropout",
+    "Linear",
+    "Parameter",
+    "ReLU",
+    "Sequential",
+]

@@ -1,0 +1,138 @@
+"""Neural-network layers with manual backpropagation.
+
+Minimal but complete: each layer caches what its backward pass needs during
+``forward`` and returns the gradient w.r.t. its input from ``backward``,
+accumulating parameter gradients into :class:`Parameter.grad`.  Everything
+is float32 and vectorized over the batch dimension, so a training step is
+a handful of BLAS calls.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Parameter", "Layer", "Linear", "ReLU", "Dropout", "Sequential"]
+
+
+class Parameter:
+    """A trainable tensor with its gradient accumulator."""
+
+    def __init__(self, value: np.ndarray):
+        self.value = np.ascontiguousarray(value, dtype=np.float32)
+        self.grad = np.zeros_like(self.value)
+
+    @property
+    def size(self) -> int:
+        return self.value.size
+
+    def zero_grad(self) -> None:
+        self.grad[:] = 0.0
+
+
+class Layer:
+    """Base layer interface."""
+
+    def forward(self, x: np.ndarray, *, training: bool) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> List[Parameter]:
+        return []
+
+
+class Linear(Layer):
+    """Affine layer ``y = x @ W + b`` with He-style initialization."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator):
+        scale = np.sqrt(2.0 / in_features)
+        self.weight = Parameter(rng.normal(0.0, scale, size=(in_features, out_features)))
+        self.bias = Parameter(np.zeros(out_features))
+        self._input: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, *, training: bool) -> np.ndarray:
+        if training:
+            self._input = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before a training forward")
+        self.weight.grad += self._input.T @ grad_out
+        self.bias.grad += grad_out.sum(axis=0)
+        return grad_out @ self.weight.value.T
+
+    def parameters(self) -> List[Parameter]:
+        return [self.weight, self.bias]
+
+    @property
+    def param_count(self) -> int:
+        return self.weight.size + self.bias.size
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, *, training: bool) -> np.ndarray:
+        out = np.maximum(x, 0.0)
+        if training:
+            self._mask = x > 0.0
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before a training forward")
+        return grad_out * self._mask
+
+
+class Dropout(Layer):
+    """Inverted dropout: active only in training mode."""
+
+    def __init__(self, p: float, rng: np.random.Generator):
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = rng
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, *, training: bool) -> np.ndarray:
+        if not training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self._rng.random(x.shape) < keep).astype(np.float32) / np.float32(keep)
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask
+
+
+class Sequential(Layer):
+    """Layer composition with reverse-order backpropagation."""
+
+    def __init__(self, layers: Sequence[Layer]):
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray, *, training: bool) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def parameters(self) -> List[Parameter]:
+        params: List[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params

@@ -1,0 +1,26 @@
+"""Model-quality metrics.
+
+The paper reports test error exclusively as root mean square error (RMSE)
+between predicted and held-out ratings (Section IV-A4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rmse"]
+
+
+def rmse(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """Root mean square error between two rating vectors.
+
+    Returns ``nan`` for empty inputs (an empty local test set on a node
+    with no data), which downstream averaging skips with ``nanmean``.
+    """
+    predicted = np.asarray(predicted, dtype=np.float64)
+    actual = np.asarray(actual, dtype=np.float64)
+    if predicted.shape != actual.shape:
+        raise ValueError(f"shape mismatch: {predicted.shape} vs {actual.shape}")
+    if predicted.size == 0:
+        return float("nan")
+    return float(np.sqrt(np.mean((predicted - actual) ** 2)))

@@ -1,0 +1,68 @@
+"""Network traffic accounting.
+
+Network volume is one of the paper's three headline metrics: Figure 2
+(row 1) shows REX exchanging two orders of magnitude less data than model
+sharing, and Figures 5(b)/6(b)/7(b) report per-epoch volumes.  The meter
+counts every payload byte and message, per sender and per receiver, and
+can be snapshotted per epoch for those charts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["TrafficMeter", "TrafficSnapshot"]
+
+
+@dataclass(frozen=True)
+class TrafficSnapshot:
+    """Immutable totals at a point in time."""
+
+    bytes_sent: int
+    messages_sent: int
+
+    def delta(self, earlier: "TrafficSnapshot") -> "TrafficSnapshot":
+        return TrafficSnapshot(
+            self.bytes_sent - earlier.bytes_sent,
+            self.messages_sent - earlier.messages_sent,
+        )
+
+
+@dataclass
+class TrafficMeter:
+    """Per-node byte/message counters for one simulated network."""
+
+    sent_bytes: Dict[int, int] = field(default_factory=dict)
+    received_bytes: Dict[int, int] = field(default_factory=dict)
+    sent_messages: Dict[int, int] = field(default_factory=dict)
+    received_messages: Dict[int, int] = field(default_factory=dict)
+    kind_messages: Dict[str, int] = field(default_factory=dict)
+    kind_bytes: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, source: int, destination: int, n_bytes: int, *, kind: str = "data") -> None:
+        if n_bytes < 0:
+            raise ValueError("message size must be non-negative")
+        self.sent_bytes[source] = self.sent_bytes.get(source, 0) + n_bytes
+        self.received_bytes[destination] = self.received_bytes.get(destination, 0) + n_bytes
+        self.sent_messages[source] = self.sent_messages.get(source, 0) + 1
+        self.received_messages[destination] = self.received_messages.get(destination, 0) + 1
+        self.kind_messages[kind] = self.kind_messages.get(kind, 0) + 1
+        self.kind_bytes[kind] = self.kind_bytes.get(kind, 0) + n_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.sent_bytes.values())
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.sent_messages.values())
+
+    def node_sent(self, node: int) -> int:
+        return self.sent_bytes.get(node, 0)
+
+    def node_received(self, node: int) -> int:
+        return self.received_bytes.get(node, 0)
+
+    def snapshot(self) -> TrafficSnapshot:
+        return TrafficSnapshot(self.total_bytes, self.total_messages)

@@ -1,0 +1,83 @@
+"""In-process message transport (the ZeroMQ stand-in).
+
+The distributed REX runtime (paper Algorithm 1) does all networking in
+untrusted mode: the host relays ciphertexts between the enclave and the
+wire.  This transport provides that wire for a set of co-hosted nodes:
+each node owns an :class:`Endpoint`, sends length-preserving byte payloads
+to peers by id, and drains its inbox when the runtime polls.  Every send
+is recorded in a :class:`~repro.net.metrics.TrafficMeter`.
+
+Delivery is reliable and in-order per (source, destination) pair --
+matching ZeroMQ PAIR/DEALER semantics on a healthy LAN, which is also the
+paper's operating point (fault tolerance is explicitly future work,
+Section III-D).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+from repro.net.metrics import TrafficMeter
+
+__all__ = ["Message", "Endpoint", "Network"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One delivered payload."""
+
+    source: int
+    destination: int
+    kind: str
+    payload: bytes
+
+
+class Endpoint:
+    """A node's handle on the network."""
+
+    def __init__(self, network: "Network", node_id: int):
+        self._network = network
+        self.node_id = node_id
+        self._inbox: Deque[Message] = deque()
+
+    def send(self, destination: int, payload: bytes, *, kind: str = "data") -> None:
+        """Queue ``payload`` for ``destination`` (counted, in-order)."""
+        self._network._deliver(Message(self.node_id, destination, kind, bytes(payload)))
+
+    def poll(self, max_messages: Optional[int] = None) -> List[Message]:
+        """Drain up to ``max_messages`` pending messages (all by default)."""
+        limit = len(self._inbox) if max_messages is None else min(max_messages, len(self._inbox))
+        return [self._inbox.popleft() for _ in range(limit)]
+
+    @property
+    def pending(self) -> int:
+        return len(self._inbox)
+
+
+class Network:
+    """The set of endpoints plus global traffic accounting."""
+
+    def __init__(self) -> None:
+        self._endpoints: Dict[int, Endpoint] = {}
+        self.meter = TrafficMeter()
+
+    def endpoint(self, node_id: int) -> Endpoint:
+        """Create (or fetch) the endpoint for ``node_id``."""
+        if node_id not in self._endpoints:
+            self._endpoints[node_id] = Endpoint(self, node_id)
+        return self._endpoints[node_id]
+
+    @property
+    def node_ids(self) -> List[int]:
+        return sorted(self._endpoints)
+
+    def _deliver(self, message: Message) -> None:
+        destination = self._endpoints.get(message.destination)
+        if destination is None:
+            raise KeyError(f"no endpoint registered for node {message.destination}")
+        self.meter.record(
+            message.source, message.destination, len(message.payload), kind=message.kind
+        )
+        destination._inbox.append(message)

@@ -1,0 +1,139 @@
+"""Timing the distributed enclave runs (Figures 6-7, Table IV).
+
+The :class:`~repro.core.cluster.RexCluster` executes the *real* protocol
+-- enclaves, attestation, sealed channels -- and reports exact per-epoch
+work counts.  This module replays those counts through the
+:class:`~repro.sim.time_model.StageTimer` under a chosen SGX cost model,
+yielding the same :class:`~repro.sim.recorder.RunResult` the figures
+consume.  An SGX build is timed with :data:`~repro.tee.cost_model.
+SGX1_COST_MODEL` (transitions, AEAD, memory encryption, EPC paging); a
+native build with :data:`~repro.tee.cost_model.NATIVE_COST_MODEL`
+(plaintext, no enclave, but on-demand page-allocation charges -- the
+source of the paper's share-step anomaly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cluster import ClusterRun
+from repro.core.config import ModelKind
+from repro.sim.recorder import MIB, EpochRecord, RunResult
+from repro.sim.time_model import DEFAULT_TIME_MODEL, StageTimer, TimeModel
+from repro.tee.cost_model import NATIVE_COST_MODEL, SGX1_COST_MODEL, SgxCostModel
+
+__all__ = ["timeline_from_cluster"]
+
+
+def timeline_from_cluster(
+    run: ClusterRun,
+    *,
+    cost_model: SgxCostModel = None,
+    time_model: TimeModel = DEFAULT_TIME_MODEL,
+) -> RunResult:
+    """Turn a cluster's reported work into a timed RunResult."""
+    if cost_model is None:
+        cost_model = SGX1_COST_MODEL if run.secure else NATIVE_COST_MODEL
+    timer = StageTimer(time_model=time_model, cost_model=cost_model, epc=run.epc)
+    cfg = run.config
+    result = RunResult(
+        label=f"{cfg.label}{' (SGX)' if run.secure else ' (native)'}",
+        scheme=cfg.scheme.value,
+        dissemination=cfg.dissemination.value,
+        topology=run.topology.name,
+        n_nodes=run.topology.n_nodes,
+        model=cfg.model.value,
+        sgx=run.secure,
+        metadata={
+            "share_points": cfg.share_points,
+            "attestation_messages": run.attestation_messages,
+        },
+    )
+
+    sim_clock = 0.0
+    cum_bytes = 0
+    for epoch in range(run.epochs_completed):
+        stats = run.stats_for_epoch(epoch)
+        arrays = {
+            name: np.array([getattr(s, name) for s in stats], dtype=np.float64)
+            for name in (
+                "merged_rows",
+                "merged_models",
+                "dedup_checked_items",
+                "train_samples",
+                "serialized_bytes",
+                "shared_payload_bytes",
+                "shared_messages",
+                "shared_empty_messages",
+                "test_samples",
+                "store_bytes",
+                "model_bytes",
+                "staging_bytes",
+                "ecalls",
+                "ocalls",
+                "transition_bytes",
+            )
+        }
+        resident = arrays["store_bytes"] + arrays["model_bytes"] + arrays["staging_bytes"]
+        transitions = arrays["ecalls"] + arrays["ocalls"]
+
+        if cfg.model is ModelKind.MF:
+            stages = timer.mf_stage_times(
+                k=cfg.mf.k,
+                merged_rows=arrays["merged_rows"],
+                dedup_items=arrays["dedup_checked_items"],
+                train_samples=arrays["train_samples"],
+                serialized_bytes=arrays["serialized_bytes"],
+                payload_bytes=arrays["shared_payload_bytes"],
+                messages=arrays["shared_messages"],
+                empty_messages=arrays["shared_empty_messages"],
+                test_samples=arrays["test_samples"],
+                resident_bytes=resident,
+                staging_bytes=arrays["staging_bytes"],
+                transitions=transitions,
+                transition_bytes=arrays["transition_bytes"],
+            )
+        else:
+            # model_bytes reflects the true parameter footprint (4 bytes
+            # per float, with value + grad + 2 Adam moments per parameter).
+            param_count = int(stats[0].model_bytes / (4 * 4))
+            stages = timer.dnn_stage_times(
+                param_count=param_count,
+                merged_models=arrays["merged_models"],
+                dedup_items=arrays["dedup_checked_items"],
+                train_samples=arrays["train_samples"],
+                serialized_bytes=arrays["serialized_bytes"],
+                payload_bytes=arrays["shared_payload_bytes"],
+                messages=arrays["shared_messages"],
+                empty_messages=arrays["shared_empty_messages"],
+                test_samples=arrays["test_samples"],
+                resident_bytes=resident,
+                staging_bytes=arrays["staging_bytes"],
+                transitions=transitions,
+                transition_bytes=arrays["transition_bytes"],
+            )
+
+        durations = StageTimer.epoch_duration(
+            stages, overlap_share=cfg.parallel_share
+        )
+        sim_clock += float(np.max(durations))
+        epoch_bytes = int(arrays["shared_payload_bytes"].sum())
+        cum_bytes += epoch_bytes
+        rmses = np.array([s.test_rmse for s in stats], dtype=np.float64)
+        result.records.append(
+            EpochRecord(
+                epoch=epoch,
+                sim_time_s=sim_clock,
+                test_rmse=float(np.nanmean(rmses)),
+                bytes_sent=epoch_bytes,
+                cum_bytes=cum_bytes,
+                merge_time_s=float(np.mean(stages["merge"])),
+                train_time_s=float(np.mean(stages["train"])),
+                share_time_s=float(np.mean(stages["share"])),
+                test_time_s=float(np.mean(stages["test"])),
+                network_time_s=float(np.mean(stages["network"])),
+                memory_mib_mean=float(np.mean(resident)) / MIB,
+                memory_mib_max=float(np.max(resident)) / MIB,
+            )
+        )
+    return result

@@ -1,0 +1,103 @@
+"""ChaCha20-Poly1305 AEAD construction (RFC 8439 section 2.8).
+
+This is the secure-channel cipher for REX: once two enclaves have mutually
+attested and derived a pairwise key (X25519 + HKDF), every subsequent
+message -- raw rating triplets or serialized models -- crosses the
+untrusted host and network only as AEAD ciphertext.  The associated data
+binds each message to its (sender, receiver, sequence) header so the
+untrusted relay cannot splice messages between channels undetected.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.tee.crypto.chacha20 import chacha20_block, chacha20_encrypt
+from repro.tee.crypto.fastchacha import chacha20_xor
+from repro.tee.crypto.poly1305 import poly1305_mac, poly1305_verify
+
+#: Payloads at or above this size use the vectorized NumPy keystream.
+_FAST_PATH_THRESHOLD = 256
+
+__all__ = ["AeadError", "ChaCha20Poly1305", "TAG_LENGTH", "NONCE_LENGTH", "KEY_LENGTH"]
+
+TAG_LENGTH = 16
+NONCE_LENGTH = 12
+KEY_LENGTH = 32
+
+
+class AeadError(Exception):
+    """Raised when AEAD decryption fails authentication.
+
+    In the REX protocol this maps to "drop the message and distrust the
+    channel": a failed tag means the ciphertext was forged, truncated, or
+    replayed under the wrong nonce.
+    """
+
+
+def _pad16(data: bytes) -> bytes:
+    """Zero-pad ``data`` to a 16-byte boundary for the MAC transcript."""
+    remainder = len(data) % 16
+    if remainder == 0:
+        return b""
+    return b"\x00" * (16 - remainder)
+
+
+def _mac_data(aad: bytes, ciphertext: bytes) -> bytes:
+    """Assemble the Poly1305 input: aad || pad || ct || pad || lengths."""
+    return b"".join(
+        (
+            aad,
+            _pad16(aad),
+            ciphertext,
+            _pad16(ciphertext),
+            struct.pack("<Q", len(aad)),
+            struct.pack("<Q", len(ciphertext)),
+        )
+    )
+
+
+class ChaCha20Poly1305:
+    """RFC 8439 AEAD cipher bound to a single 32-byte key.
+
+    Examples
+    --------
+    >>> cipher = ChaCha20Poly1305(b"k" * 32)
+    >>> ct = cipher.encrypt(b"\\x00" * 12, b"hello", b"header")
+    >>> cipher.decrypt(b"\\x00" * 12, ct, b"header")
+    b'hello'
+    """
+
+    def __init__(self, key: bytes):
+        if len(key) != KEY_LENGTH:
+            raise ValueError(f"key must be {KEY_LENGTH} bytes, got {len(key)}")
+        self._key = key
+
+    def _poly_key(self, nonce: bytes) -> bytes:
+        """Derive the one-time Poly1305 key from block counter zero."""
+        return chacha20_block(self._key, 0, nonce)[:32]
+
+    def encrypt(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+        """Encrypt and authenticate; returns ciphertext || 16-byte tag."""
+        if len(nonce) != NONCE_LENGTH:
+            raise ValueError(f"nonce must be {NONCE_LENGTH} bytes")
+        ciphertext = self._cipher(nonce, plaintext)
+        tag = poly1305_mac(self._poly_key(nonce), _mac_data(aad, ciphertext))
+        return ciphertext + tag
+
+    def _cipher(self, nonce: bytes, data: bytes) -> bytes:
+        """Keystream-XOR ``data``, picking the scalar or vectorized path."""
+        if len(data) >= _FAST_PATH_THRESHOLD:
+            return chacha20_xor(self._key, 1, nonce, data)
+        return chacha20_encrypt(self._key, 1, nonce, data)
+
+    def decrypt(self, nonce: bytes, data: bytes, aad: bytes = b"") -> bytes:
+        """Verify the tag and decrypt; raises :class:`AeadError` on failure."""
+        if len(nonce) != NONCE_LENGTH:
+            raise ValueError(f"nonce must be {NONCE_LENGTH} bytes")
+        if len(data) < TAG_LENGTH:
+            raise AeadError("ciphertext shorter than the authentication tag")
+        ciphertext, tag = data[:-TAG_LENGTH], data[-TAG_LENGTH:]
+        if not poly1305_verify(self._poly_key(nonce), _mac_data(aad, ciphertext), tag):
+            raise AeadError("authentication tag mismatch")
+        return self._cipher(nonce, ciphertext)

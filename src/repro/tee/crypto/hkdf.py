@@ -1,0 +1,47 @@
+"""HKDF key derivation (RFC 5869) over HMAC-SHA-256.
+
+After the X25519 exchange, the raw shared secret is never used directly as
+a cipher key: both enclaves run it through HKDF with a transcript-bound
+info string (the two measurements and node identities) so each attested
+pair gets an independent channel key, and a compromise of one derived key
+reveals nothing about the others.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+__all__ = ["hkdf_extract", "hkdf_expand", "hkdf"]
+
+_HASH_LENGTH = 32  # SHA-256
+
+
+def hkdf_extract(salt: bytes, input_key_material: bytes) -> bytes:
+    """Extract step: PRK = HMAC(salt, IKM)."""
+    if not salt:
+        salt = b"\x00" * _HASH_LENGTH
+    return hmac.new(salt, input_key_material, hashlib.sha256).digest()
+
+
+def hkdf_expand(pseudo_random_key: bytes, info: bytes, length: int) -> bytes:
+    """Expand step: derive ``length`` bytes of output keying material."""
+    if length > 255 * _HASH_LENGTH:
+        raise ValueError("HKDF output length too large")
+    if len(pseudo_random_key) < _HASH_LENGTH:
+        raise ValueError("PRK must be at least one hash length")
+    blocks = []
+    previous = b""
+    counter = 1
+    while sum(len(b) for b in blocks) < length:
+        previous = hmac.new(
+            pseudo_random_key, previous + info + bytes([counter]), hashlib.sha256
+        ).digest()
+        blocks.append(previous)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def hkdf(input_key_material: bytes, *, salt: bytes = b"", info: bytes = b"", length: int = 32) -> bytes:
+    """One-shot extract-then-expand convenience wrapper."""
+    return hkdf_expand(hkdf_extract(salt, input_key_material), info, length)

@@ -1,0 +1,89 @@
+"""Enclave page cache (EPC) model.
+
+SGX v1 machines of the paper's generation have a 128 MiB EPC of which only
+93.5 MiB is available to enclaves (the rest holds metadata); this budget is
+shared by *all* enclaves on a machine (the paper runs 2 REX processes per
+SGX server).  When the resident trusted working set exceeds the enclave's
+EPC share, the SGX driver evicts pages -- each eviction/reload involves
+re-encryption and integrity checks and costs microseconds, which is why the
+paper's model-sharing runs (working sets up to 204 MiB) see up to 135%
+slowdown while REX's small data stores stay near-native (Table IV, Fig. 7).
+
+This module models that behaviour: given a resident set and the bytes a
+stage touches, it estimates page faults with a uniform-reuse approximation
+(every touched page misses with probability ``1 - epc_share/resident``
+once the resident set overflows the share).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PAGE_SIZE", "EpcModel"]
+
+#: SGX pages are standard 4 KiB pages.
+PAGE_SIZE = 4096
+
+MIB = float(1024 * 1024)
+
+
+@dataclass(frozen=True)
+class EpcModel:
+    """Per-machine EPC capacity model.
+
+    Parameters
+    ----------
+    total_mib:
+        Physical EPC size (128 MiB on the paper's Xeon E-2288G servers).
+    usable_mib:
+        EPC available to enclaves after metadata (93.5 MiB, following the
+        SGX-aware orchestration measurements the paper cites).
+    enclaves_per_machine:
+        How many enclaves share the EPC; the paper runs 2 per server.
+    """
+
+    total_mib: float = 128.0
+    usable_mib: float = 93.5
+    enclaves_per_machine: int = 1
+
+    def __post_init__(self) -> None:
+        if self.usable_mib > self.total_mib:
+            raise ValueError("usable EPC cannot exceed total EPC")
+        if self.usable_mib <= 0:
+            raise ValueError("usable EPC must be positive")
+        if self.enclaves_per_machine < 1:
+            raise ValueError("at least one enclave per machine")
+
+    @property
+    def usable_bytes(self) -> float:
+        return self.usable_mib * MIB
+
+    @property
+    def share_bytes(self) -> float:
+        """EPC bytes available to one enclave (equal split)."""
+        return self.usable_bytes / self.enclaves_per_machine
+
+    def overcommit_ratio(self, resident_bytes: float) -> float:
+        """Resident set over EPC share; > 1 means paging is active."""
+        return resident_bytes / self.share_bytes
+
+    def miss_probability(self, resident_bytes: float) -> float:
+        """Probability a touched page is not EPC-resident.
+
+        Uniform-reuse approximation: with a resident set of R bytes and a
+        share of E bytes, each touch hits a cached page with probability
+        E/R once R > E, so the miss probability is ``max(0, 1 - E/R)``.
+        """
+        if resident_bytes <= self.share_bytes:
+            return 0.0
+        return 1.0 - self.share_bytes / resident_bytes
+
+    def page_faults(self, touched_bytes: float, resident_bytes: float) -> float:
+        """Expected EPC page faults for a stage touching ``touched_bytes``.
+
+        Fractional fault counts are fine: the consumer multiplies by a
+        per-fault cost, so this is an expected-value model.
+        """
+        if touched_bytes < 0:
+            raise ValueError("touched_bytes must be non-negative")
+        return (touched_bytes / PAGE_SIZE) * self.miss_probability(resident_bytes)

@@ -1,0 +1,71 @@
+"""Enclave measurement (MRENCLAVE equivalent).
+
+On SGX hardware, the measurement is a SHA-256 digest accumulated by the
+processor over every page added to the enclave at build time -- initial
+code, data and security attributes.  Any change to the trusted code yields
+a different measurement, which is what lets REX nodes insist that peers run
+*exactly* the same binary (Section III-A: "this expected value must be
+equal to the checker's own measurement").
+
+Here the trusted code is a Python class; we measure a stable identity for
+it: the fully-qualified class name plus the source code of the class if it
+can be retrieved, plus explicit attribute bytes.  Editing the trusted
+class therefore changes the measurement, exactly like rebuilding an SGX
+enclave binary would.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+from dataclasses import dataclass
+
+__all__ = ["Measurement", "measure_code", "measure_class"]
+
+_DOMAIN = b"sgx-mrenclave-v1:"
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """A 32-byte enclave identity digest."""
+
+    digest: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.digest) != 32:
+            raise ValueError("measurement must be a 32-byte digest")
+
+    def hex(self) -> str:
+        return self.digest.hex()
+
+    def short(self) -> str:
+        """Abbreviated form for logs and reprs."""
+        return self.digest.hex()[:12]
+
+    def __bytes__(self) -> bytes:  # pragma: no cover - trivial
+        return self.digest
+
+
+def measure_code(code: bytes, attributes: bytes = b"") -> Measurement:
+    """Measure raw trusted code bytes plus security attributes."""
+    h = hashlib.sha256()
+    h.update(_DOMAIN)
+    h.update(len(code).to_bytes(8, "little"))
+    h.update(code)
+    h.update(attributes)
+    return Measurement(h.digest())
+
+
+def measure_class(trusted_class: type, attributes: bytes = b"") -> Measurement:
+    """Measure a trusted-application class.
+
+    Uses the class source when available (so code edits change the
+    measurement, like an SGX rebuild would) and falls back to the
+    qualified name for classes defined interactively.
+    """
+    identity = f"{trusted_class.__module__}.{trusted_class.__qualname__}".encode()
+    try:
+        source = inspect.getsource(trusted_class).encode()
+    except (OSError, TypeError):
+        source = b""
+    return measure_code(identity + b"\x00" + source, attributes)

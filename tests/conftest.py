@@ -1,0 +1,43 @@
+"""Shared fixtures: small, fast datasets and topologies.
+
+Unit and integration tests run on a miniature MovieLens-shaped dataset
+(40 users / 120 items / 1,600 ratings) so the whole suite stays fast; the
+full Table I presets are exercised by dedicated dataset tests and by the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.dataset import TrainTestSplit
+from repro.data.movielens import MovieLensSpec, generate_movielens
+from repro.net.topology import Topology
+
+TINY_SPEC = MovieLensSpec(
+    name="tiny",
+    n_ratings=1600,
+    n_items=120,
+    n_users=40,
+    last_updated=2020,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    return generate_movielens(TINY_SPEC, seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_split(tiny_dataset) -> TrainTestSplit:
+    return tiny_dataset.split(0.7, seed=3)
+
+
+@pytest.fixture(scope="session")
+def ring8() -> Topology:
+    return Topology.ring(8)
+
+
+@pytest.fixture(scope="session")
+def full4() -> Topology:
+    return Topology.fully_connected(4)

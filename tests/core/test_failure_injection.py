@@ -1,0 +1,185 @@
+"""Failure injection against the trusted application and the cluster.
+
+The enclave must reject every malformed, replayed, or out-of-protocol
+input the untrusted host could throw at it, and the cluster runner must
+detect a stalled protocol instead of spinning forever.
+"""
+
+import pytest
+
+from repro.core import (
+    CryptoMode,
+    Dissemination,
+    ModelKind,
+    RexCluster,
+    RexConfig,
+    SharingScheme,
+)
+from repro.core.channel import ReplayError, SecureChannel
+from repro.core.messages import (
+    CONTENT_MF_MODEL,
+    CONTENT_TRIPLETS,
+    KIND_PAYLOAD,
+    KIND_QUOTE,
+    PayloadHeader,
+    pack_payload,
+)
+from repro.data.partition import partition_users_across_nodes
+from repro.ml.mf import MfHyperParams
+from repro.net.serialization import encode_mf_state, encode_triplets
+from repro.net.topology import Topology
+from repro.tee.crypto.aead import AeadError
+from repro.tee.errors import ChannelNotEstablished
+
+
+def _config(scheme=SharingScheme.DATA, epochs=3, **kwargs):
+    return RexConfig(
+        scheme=scheme,
+        dissemination=Dissemination.DPSGD,
+        epochs=epochs,
+        share_points=10,
+        crypto_mode=CryptoMode.REAL,
+        mf=MfHyperParams(k=4, batch_size=16, batches_per_epoch=2),
+        **kwargs,
+    )
+
+
+@pytest.fixture()
+def pair_cluster(tiny_split):
+    """A bootstrapped (attested, epoch-0 done) two-node cluster."""
+    train = partition_users_across_nodes(tiny_split.train, 2, seed=2)
+    test = partition_users_across_nodes(tiny_split.test, 2, seed=2)
+    cluster = RexCluster(Topology.fully_connected(2), _config(), secure=True)
+    cluster.bootstrap(train, test, global_mean=tiny_split.train.global_mean())
+    for host in cluster.hosts:
+        host.pump()
+    return cluster
+
+
+class TestMalformedInputs:
+    def test_payload_from_unattested_peer_rejected(self, pair_cluster):
+        host = pair_cluster.hosts[0]
+        with pytest.raises(ChannelNotEstablished):
+            host.enclave.ecall("ecall_input", 99, KIND_PAYLOAD, b"\x00" * 64)
+
+    def test_unknown_message_kind_rejected(self, pair_cluster):
+        host = pair_cluster.hosts[0]
+        with pytest.raises(ValueError):
+            host.enclave.ecall("ecall_input", 1, "gossip", b"")
+
+    def test_garbage_ciphertext_rejected(self, pair_cluster):
+        host = pair_cluster.hosts[0]
+        with pytest.raises((AeadError, ChannelNotEstablished)):
+            host.enclave.ecall("ecall_input", 1, KIND_PAYLOAD, b"\x99" * 80)
+
+    def test_replayed_payload_rejected(self, tiny_split):
+        train = partition_users_across_nodes(tiny_split.train, 2, seed=2)
+        test = partition_users_across_nodes(tiny_split.test, 2, seed=2)
+        cluster = RexCluster(Topology.fully_connected(2), _config(), secure=True)
+        captured = []
+        original = cluster.network._deliver
+
+        def spy(message):
+            if message.kind == KIND_PAYLOAD and not captured:
+                captured.append(message)
+            original(message)
+
+        cluster.network._deliver = spy
+        cluster.bootstrap(train, test, global_mean=tiny_split.train.global_mean())
+        for host in cluster.hosts:
+            host.pump()
+        replay = captured[0]
+        target = cluster.hosts[replay.destination]
+        with pytest.raises(ReplayError):
+            target.enclave.ecall("ecall_input", replay.source, replay.kind, replay.payload)
+
+    def test_quote_to_native_build_rejected(self, tiny_split):
+        train = partition_users_across_nodes(tiny_split.train, 2, seed=2)
+        test = partition_users_across_nodes(tiny_split.test, 2, seed=2)
+        cluster = RexCluster(Topology.fully_connected(2), _config(), secure=False)
+        cluster.bootstrap(train, test, global_mean=tiny_split.train.global_mean())
+        with pytest.raises(ChannelNotEstablished):
+            cluster.hosts[0].enclave.ecall("ecall_input", 1, KIND_QUOTE, b"junk")
+
+    def test_duplicate_quote_is_idempotent(self, tiny_split):
+        train = partition_users_across_nodes(tiny_split.train, 2, seed=2)
+        test = partition_users_across_nodes(tiny_split.test, 2, seed=2)
+        cluster = RexCluster(Topology.fully_connected(2), _config(), secure=True)
+        quotes = []
+        original = cluster.network._deliver
+
+        def spy(message):
+            if message.kind == KIND_QUOTE:
+                quotes.append(message)
+            original(message)
+
+        cluster.network._deliver = spy
+        cluster.bootstrap(train, test, global_mean=tiny_split.train.global_mean())
+        for host in cluster.hosts:
+            host.pump()
+        dup = quotes[0]
+        target = cluster.hosts[dup.destination]
+        before = target.status()["attested_peers"]
+        target.enclave.ecall("ecall_input", dup.source, dup.kind, dup.payload)
+        assert target.status()["attested_peers"] == before
+
+    def test_wrong_content_kind_for_scheme(self, pair_cluster):
+        """A model payload arriving in a data-sharing run is rejected
+        even though it decrypts correctly (protocol confusion defence)."""
+        host0, host1 = pair_cluster.hosts
+        for _ in range(3):  # let both nodes run a few rounds
+            host0.pump()
+            host1.pump()
+        app0 = host0.enclave._app
+        app1 = host1.enclave._app
+        # Forge a model payload *with the correct channel key*, tagged for
+        # the epoch whose barrier fires next at node 0 (protocol confusion
+        # by a compromised-but-attested peer; we reach into the test
+        # double to craft it).
+        state = app1.model.state()
+        plaintext = pack_payload(
+            PayloadHeader(1, app0.epoch - 1, 1, CONTENT_MF_MODEL),
+            encode_mf_state(state),
+        )
+        forged = SecureChannel(app0.channels[1]._cipher._key, 1, 0)
+        forged._send_seq = 10_000  # stay ahead of the replay window
+        wire = forged.seal(plaintext)
+        with pytest.raises(ValueError, match="model payload"):
+            host0.enclave.ecall("ecall_input", 1, KIND_PAYLOAD, wire)
+
+
+class TestStallDetection:
+    def test_dropped_messages_stall_is_reported(self, tiny_split):
+        """If the (lossless by contract) network silently drops payloads,
+        the barrier never fires and the runner must raise, not hang."""
+        train = partition_users_across_nodes(tiny_split.train, 2, seed=2)
+        test = partition_users_across_nodes(tiny_split.test, 2, seed=2)
+        cluster = RexCluster(Topology.fully_connected(2), _config(), secure=True)
+        original = cluster.network._deliver
+
+        def lossy(message):
+            if message.kind == KIND_PAYLOAD and message.destination == 1:
+                return  # drop everything node 1 should receive
+            original(message)
+
+        cluster.network._deliver = lossy
+        with pytest.raises(RuntimeError, match="stalled"):
+            cluster.run(train, test, global_mean=tiny_split.train.global_mean())
+
+
+class TestDedupFlagInApp:
+    def test_dedup_disabled_grows_store_faster(self, tiny_split):
+        train = partition_users_across_nodes(tiny_split.train, 2, seed=2)
+        test = partition_users_across_nodes(tiny_split.test, 2, seed=2)
+        gm = tiny_split.train.global_mean()
+
+        def final_store(dedup):
+            cluster = RexCluster(
+                Topology.fully_connected(2),
+                _config(dedup=dedup, epochs=6),
+                secure=True,
+            )
+            run = cluster.run(train, test, global_mean=gm)
+            return sum(s.store_items for s in run.stats_for_epoch(5))
+
+        assert final_store(False) > final_store(True)

@@ -1,0 +1,80 @@
+"""Partitioning a dataset across decentralized nodes."""
+
+import numpy as np
+import pytest
+
+from repro.data.partition import (
+    partition_one_user_per_node,
+    partition_users_across_nodes,
+)
+
+
+class TestOneUserPerNode:
+    def test_one_shard_per_user(self, tiny_dataset):
+        shards = partition_one_user_per_node(tiny_dataset)
+        assert len(shards) == tiny_dataset.n_users
+
+    def test_shards_cover_everything(self, tiny_dataset):
+        shards = partition_one_user_per_node(tiny_dataset)
+        assert sum(len(s) for s in shards) == len(tiny_dataset)
+
+    def test_each_shard_single_user(self, tiny_dataset):
+        shards = partition_one_user_per_node(tiny_dataset)
+        for user, shard in enumerate(shards):
+            if len(shard):
+                assert set(shard.users.tolist()) == {user}
+
+    def test_id_space_preserved(self, tiny_dataset):
+        shards = partition_one_user_per_node(tiny_dataset)
+        assert all(s.n_users == tiny_dataset.n_users for s in shards)
+        assert all(s.n_items == tiny_dataset.n_items for s in shards)
+
+
+class TestMultiUserPartition:
+    def test_shard_count(self, tiny_dataset):
+        shards = partition_users_across_nodes(tiny_dataset, 8, seed=0)
+        assert len(shards) == 8
+
+    def test_cover_everything(self, tiny_dataset):
+        shards = partition_users_across_nodes(tiny_dataset, 8, seed=0)
+        assert sum(len(s) for s in shards) == len(tiny_dataset)
+
+    def test_users_disjoint_across_shards(self, tiny_dataset):
+        shards = partition_users_across_nodes(tiny_dataset, 8, seed=0)
+        seen = set()
+        for shard in shards:
+            users = set(shard.distinct_users().tolist())
+            assert not users & seen
+            seen |= users
+
+    def test_balanced_cohorts(self, tiny_dataset):
+        shards = partition_users_across_nodes(tiny_dataset, 8, seed=0)
+        cohort_sizes = [len(s.distinct_users()) for s in shards]
+        assert max(cohort_sizes) - min(cohort_sizes) <= 1
+
+    def test_paper_cohort_sizes_610_over_50(self):
+        """The paper's 610 users over 50 nodes give 12 or 13 users each."""
+        from repro.data.movielens import MOVIELENS_LATEST, generate_movielens
+
+        ds = generate_movielens(MOVIELENS_LATEST, seed=42)
+        shards = partition_users_across_nodes(ds, 50, seed=2)
+        sizes = {len(s.distinct_users()) for s in shards}
+        assert sizes == {12, 13}
+
+    def test_deterministic(self, tiny_dataset):
+        a = partition_users_across_nodes(tiny_dataset, 5, seed=1)
+        b = partition_users_across_nodes(tiny_dataset, 5, seed=1)
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_seed_changes_assignment(self, tiny_dataset):
+        a = partition_users_across_nodes(tiny_dataset, 5, seed=1)
+        b = partition_users_across_nodes(tiny_dataset, 5, seed=2)
+        assert any(x != y for x, y in zip(a, b))
+
+    def test_more_nodes_than_users_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            partition_users_across_nodes(tiny_dataset, tiny_dataset.n_users + 1)
+
+    def test_zero_nodes_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            partition_users_across_nodes(tiny_dataset, 0)

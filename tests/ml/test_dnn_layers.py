@@ -1,0 +1,173 @@
+"""Layer backprop verified against numerical gradients."""
+
+import numpy as np
+import pytest
+
+from repro._rng import child_rng
+from repro.ml.dnn.layers import Dropout, Linear, Parameter, ReLU, Sequential
+
+
+def numerical_gradient(f, x, eps=1e-4):
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for idx in range(flat.size):
+        orig = flat[idx]
+        flat[idx] = orig + eps
+        plus = f()
+        flat[idx] = orig - eps
+        minus = f()
+        flat[idx] = orig
+        gflat[idx] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(3, 5, child_rng(0, "l"))
+        out = layer.forward(np.ones((4, 3), dtype=np.float32), training=False)
+        assert out.shape == (4, 5)
+
+    def test_weight_gradient_matches_numerical(self):
+        rng = child_rng(0, "l")
+        layer = Linear(3, 2, rng)
+        x = rng.normal(size=(5, 3)).astype(np.float32)
+
+        def loss():
+            return float((layer.forward(x, training=True) ** 2).sum())
+
+        layer.forward(x, training=True)
+        grad_out = 2.0 * layer.forward(x, training=True)
+        layer.weight.zero_grad()
+        layer.backward(grad_out)
+        numeric = numerical_gradient(loss, layer.weight.value)
+        np.testing.assert_allclose(layer.weight.grad, numeric, rtol=1e-2, atol=1e-3)
+
+    def test_bias_gradient_matches_numerical(self):
+        rng = child_rng(1, "l")
+        layer = Linear(3, 2, rng)
+        x = rng.normal(size=(4, 3)).astype(np.float32)
+
+        def loss():
+            return float((layer.forward(x, training=True) ** 2).sum())
+
+        grad_out = 2.0 * layer.forward(x, training=True)
+        layer.bias.zero_grad()
+        layer.backward(grad_out)
+        numeric = numerical_gradient(loss, layer.bias.value)
+        np.testing.assert_allclose(layer.bias.grad, numeric, rtol=1e-2, atol=1e-3)
+
+    def test_input_gradient_matches_numerical(self):
+        rng = child_rng(2, "l")
+        layer = Linear(3, 2, rng)
+        x = rng.normal(size=(4, 3)).astype(np.float32)
+
+        def loss():
+            return float((layer.forward(x, training=True) ** 2).sum())
+
+        grad_out = 2.0 * layer.forward(x, training=True)
+        grad_in = layer.backward(grad_out)
+        numeric = numerical_gradient(loss, x)
+        # float32 central differences are only good to ~1e-2 absolute here.
+        np.testing.assert_allclose(grad_in, numeric, rtol=3e-2, atol=1e-2)
+
+    def test_backward_before_forward_rejected(self):
+        layer = Linear(3, 2, child_rng(0, "l"))
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2), dtype=np.float32))
+
+    def test_param_count(self):
+        layer = Linear(7, 4, child_rng(0, "l"))
+        assert layer.param_count == 7 * 4 + 4
+
+
+class TestReLU:
+    def test_forward_clamps_negatives(self):
+        relu = ReLU()
+        out = relu.forward(np.array([[-1.0, 2.0]], dtype=np.float32), training=False)
+        np.testing.assert_array_equal(out, [[0.0, 2.0]])
+
+    def test_backward_masks_gradient(self):
+        relu = ReLU()
+        relu.forward(np.array([[-1.0, 2.0]], dtype=np.float32), training=True)
+        grad = relu.backward(np.array([[5.0, 5.0]], dtype=np.float32))
+        np.testing.assert_array_equal(grad, [[0.0, 5.0]])
+
+    def test_backward_before_forward_rejected(self):
+        with pytest.raises(RuntimeError):
+            ReLU().backward(np.ones((1, 2), dtype=np.float32))
+
+
+class TestDropout:
+    def test_identity_in_eval_mode(self):
+        drop = Dropout(0.5, child_rng(0, "d"))
+        x = np.ones((8, 8), dtype=np.float32)
+        np.testing.assert_array_equal(drop.forward(x, training=False), x)
+
+    def test_training_zeroes_and_rescales(self):
+        drop = Dropout(0.5, child_rng(0, "d"))
+        x = np.ones((64, 64), dtype=np.float32)
+        out = drop.forward(x, training=True)
+        zero_fraction = float((out == 0).mean())
+        assert 0.3 < zero_fraction < 0.7
+        kept = out[out != 0]
+        np.testing.assert_allclose(kept, 2.0)  # inverted dropout scaling
+
+    def test_zero_probability_is_identity(self):
+        drop = Dropout(0.0, child_rng(0, "d"))
+        x = np.ones((4, 4), dtype=np.float32)
+        out = drop.forward(x, training=True)
+        np.testing.assert_array_equal(out, x)
+        np.testing.assert_array_equal(drop.backward(x), x)
+
+    def test_backward_uses_same_mask(self):
+        drop = Dropout(0.5, child_rng(0, "d"))
+        x = np.ones((16, 16), dtype=np.float32)
+        out = drop.forward(x, training=True)
+        grad = drop.backward(np.ones_like(x))
+        np.testing.assert_array_equal(grad == 0, out == 0)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0, child_rng(0, "d"))
+
+
+class TestSequential:
+    def test_composes_layers(self):
+        rng = child_rng(0, "s")
+        net = Sequential([Linear(3, 4, rng), ReLU(), Linear(4, 1, rng)])
+        out = net.forward(np.ones((2, 3), dtype=np.float32), training=False)
+        assert out.shape == (2, 1)
+
+    def test_end_to_end_gradient_matches_numerical(self):
+        rng = child_rng(3, "s")
+        net = Sequential([Linear(3, 4, rng), ReLU(), Linear(4, 1, rng)])
+        x = rng.normal(size=(5, 3)).astype(np.float32) + 0.5
+
+        def loss():
+            return float((net.forward(x, training=True) ** 2).sum())
+
+        grad_out = 2.0 * net.forward(x, training=True)
+        for p in net.parameters():
+            p.zero_grad()
+        net.backward(grad_out)
+        first_linear = net.layers[0]
+        numeric = numerical_gradient(loss, first_linear.weight.value)
+        np.testing.assert_allclose(first_linear.weight.grad, numeric, rtol=2e-2, atol=2e-3)
+
+    def test_parameters_collects_all(self):
+        rng = child_rng(0, "s")
+        net = Sequential([Linear(3, 4, rng), ReLU(), Linear(4, 1, rng)])
+        assert len(net.parameters()) == 4  # two weights + two biases
+
+
+class TestParameter:
+    def test_zero_grad(self):
+        p = Parameter(np.ones((2, 2)))
+        p.grad += 3.0
+        p.zero_grad()
+        assert (p.grad == 0).all()
+
+    def test_float32_storage(self):
+        p = Parameter(np.ones((2, 2), dtype=np.float64))
+        assert p.value.dtype == np.float32

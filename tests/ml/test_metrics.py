@@ -1,0 +1,35 @@
+"""RMSE metric."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import rmse
+
+
+def test_zero_for_perfect_prediction():
+    assert rmse(np.array([1.0, 2.0]), np.array([1.0, 2.0])) == 0.0
+
+
+def test_known_value():
+    assert rmse(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(
+        np.sqrt(12.5)
+    )
+
+
+def test_symmetry():
+    a, b = np.array([1.0, 5.0]), np.array([2.0, 3.0])
+    assert rmse(a, b) == rmse(b, a)
+
+
+def test_nan_on_empty():
+    assert np.isnan(rmse(np.array([]), np.array([])))
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        rmse(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+def test_scale_invariance_of_shift():
+    a, b = np.array([1.0, 2.0]), np.array([2.0, 3.0])
+    assert rmse(a + 10, b + 10) == pytest.approx(rmse(a, b))

@@ -1,0 +1,73 @@
+"""In-process transport and traffic metering."""
+
+import pytest
+
+from repro.net.metrics import TrafficMeter
+from repro.net.transport import Network
+
+
+@pytest.fixture()
+def net():
+    return Network()
+
+
+class TestDelivery:
+    def test_send_and_poll(self, net):
+        a, b = net.endpoint(0), net.endpoint(1)
+        a.send(1, b"hello", kind="greeting")
+        messages = b.poll()
+        assert len(messages) == 1
+        assert messages[0].source == 0
+        assert messages[0].kind == "greeting"
+        assert messages[0].payload == b"hello"
+
+    def test_in_order_per_pair(self, net):
+        a, b = net.endpoint(0), net.endpoint(1)
+        for i in range(5):
+            a.send(1, bytes([i]))
+        assert [m.payload[0] for m in b.poll()] == [0, 1, 2, 3, 4]
+
+    def test_poll_limit(self, net):
+        a, b = net.endpoint(0), net.endpoint(1)
+        for i in range(5):
+            a.send(1, bytes([i]))
+        assert len(b.poll(max_messages=2)) == 2
+        assert b.pending == 3
+
+    def test_unknown_destination_rejected(self, net):
+        a = net.endpoint(0)
+        with pytest.raises(KeyError):
+            a.send(9, b"x")
+
+    def test_endpoint_reuse(self, net):
+        assert net.endpoint(3) is net.endpoint(3)
+
+    def test_node_ids_sorted(self, net):
+        net.endpoint(2)
+        net.endpoint(0)
+        assert net.node_ids == [0, 2]
+
+
+class TestMetering:
+    def test_bytes_and_messages_counted(self, net):
+        a, b = net.endpoint(0), net.endpoint(1)
+        a.send(1, b"12345")
+        a.send(1, b"xy")
+        b.poll()
+        assert net.meter.total_bytes == 7
+        assert net.meter.total_messages == 2
+        assert net.meter.node_sent(0) == 7
+        assert net.meter.node_received(1) == 7
+
+    def test_snapshot_delta(self, net):
+        a, b = net.endpoint(0), net.endpoint(1)
+        a.send(1, b"123")
+        before = net.meter.snapshot()
+        a.send(1, b"4567")
+        delta = net.meter.snapshot().delta(before)
+        assert delta.bytes_sent == 4
+        assert delta.messages_sent == 1
+
+    def test_meter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TrafficMeter().record(0, 1, -5)

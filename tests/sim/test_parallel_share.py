@@ -1,0 +1,59 @@
+"""The share/train overlap extension (paper Section III-D)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import Dissemination, RexConfig, SharingScheme
+from repro.data.partition import partition_users_across_nodes
+from repro.ml.mf import MfHyperParams
+from repro.net.topology import Topology
+from repro.sim.fleet import MfFleetSim
+from repro.sim.time_model import StageTimer
+
+
+class TestEpochDurationOverlap:
+    def test_overlap_takes_max_of_train_and_share(self):
+        stages = {"merge": 1.0, "train": 3.0, "share": 2.0, "test": 0.5, "network": 0.1}
+        serial = StageTimer.epoch_duration(stages)
+        overlapped = StageTimer.epoch_duration(stages, overlap_share=True)
+        assert serial == pytest.approx(6.6)
+        assert overlapped == pytest.approx(1.0 + 3.0 + 0.5 + 0.1)
+
+    def test_overlap_never_slower(self):
+        stages = {"merge": 0.2, "train": 0.1, "share": 5.0, "test": 0.1, "network": 0.0}
+        assert StageTimer.epoch_duration(stages, overlap_share=True) <= StageTimer.epoch_duration(stages)
+
+
+class TestConfigValidation:
+    def test_rejected_for_model_sharing(self):
+        with pytest.raises(ValueError, match="parallel share"):
+            RexConfig(scheme=SharingScheme.MODEL, parallel_share=True)
+
+    def test_allowed_for_data_sharing(self):
+        config = RexConfig(scheme=SharingScheme.DATA, parallel_share=True)
+        assert config.parallel_share
+
+
+class TestFleetIntegration:
+    def _run(self, tiny_split, parallel):
+        train = partition_users_across_nodes(tiny_split.train, 6, seed=2)
+        test = partition_users_across_nodes(tiny_split.test, 6, seed=2)
+        config = RexConfig(
+            scheme=SharingScheme.DATA,
+            dissemination=Dissemination.DPSGD,
+            epochs=8,
+            share_points=15,
+            parallel_share=parallel,
+            mf=MfHyperParams(k=4, batch_size=16, batches_per_epoch=2),
+        )
+        return MfFleetSim(
+            train, test, Topology.fully_connected(6), config,
+            global_mean=tiny_split.train.global_mean(),
+        ).run()
+
+    def test_same_model_quality_less_time(self, tiny_split):
+        serial = self._run(tiny_split, parallel=False)
+        overlapped = self._run(tiny_split, parallel=True)
+        np.testing.assert_allclose(serial.rmses(), overlapped.rmses())
+        assert overlapped.total_time_s <= serial.total_time_s
+        assert overlapped.total_bytes == serial.total_bytes

@@ -1,0 +1,57 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.scheme == "rex"
+        assert args.topology == "sw"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "REPRO_EPOCH_SCALE" in out
+
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "movielens-latest" in out
+        assert "2,249,739" in out
+
+    def test_simulate_small(self, capsys):
+        code = main(
+            [
+                "simulate", "--nodes", "6", "--epochs", "4",
+                "--ratings", "2000", "--users", "40", "--items", "100",
+                "--topology", "ring", "--share-points", "10", "--k", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "final RMSE" in out
+
+    def test_compare_small(self, capsys):
+        code = main(
+            [
+                "compare", "--nodes", "6", "--epochs", "8",
+                "--ratings", "2000", "--users", "40", "--items", "100",
+                "--topology", "full", "--share-points", "10", "--k", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "traffic ratio MS/REX" in out
