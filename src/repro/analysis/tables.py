@@ -39,7 +39,9 @@ class SpeedupRow:
 
     def as_cells(self, *, unit: str = "min") -> List[str]:
         divisor = 60.0 if unit == "min" else 1.0
-        fmt = lambda v: "n/a" if v is None else f"{v / divisor:.1f}"
+        def fmt(v):
+            return "n/a" if v is None else f"{v / divisor:.1f}"
+
         speed = "n/a" if self.speedup is None else f"{self.speedup:.1f}x"
         return [self.setup, f"{self.error_target:.2f}", fmt(self.rex_time_s), fmt(self.ms_time_s), speed]
 

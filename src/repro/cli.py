@@ -10,6 +10,9 @@ Commands
     speed-up / traffic-ratio comparison.
 ``datasets``
     Print Table I for the synthetic MovieLens presets.
+``metrics``
+    Run one fully-observed distributed experiment (enclaves, EPC,
+    per-edge traffic) and emit a machine-readable ``metrics.json``.
 ``info``
     Show the library version and the experiment environment knobs.
 """
@@ -33,6 +36,11 @@ from repro.data.movielens import (
 from repro.data.partition import partition_users_across_nodes
 from repro.ml.mf import MfHyperParams
 from repro.net.topology import Topology
+from repro.obs.export import (
+    FULL_SCENARIOS,
+    run_observed_experiment,
+    write_metrics_json,
+)
 from repro.sim.fleet import MfFleetSim
 from repro.sim.recorder import RunResult
 
@@ -70,6 +78,32 @@ def build_parser() -> argparse.ArgumentParser:
     add_scenario_args(cmp_)
 
     sub.add_parser("datasets", help="print Table I presets")
+
+    met = sub.add_parser(
+        "metrics", help="observed distributed run -> metrics.json"
+    )
+    met.add_argument(
+        "--experiment",
+        choices=sorted(FULL_SCENARIOS),
+        default="fig1",
+        help="which scenario preset to run",
+    )
+    met.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny CI-sized scenario (seconds instead of minutes)",
+    )
+    met.add_argument("--seed", type=int, default=0)
+    met.add_argument(
+        "--output", default="metrics.json", help="where to write the document"
+    )
+    met.add_argument(
+        "--chrome-trace",
+        default=None,
+        metavar="PATH",
+        help="also write a chrome://tracing / Perfetto JSON trace",
+    )
+
     sub.add_parser("info", help="version and environment knobs")
     return parser
 
@@ -167,6 +201,36 @@ def cmd_datasets(_args) -> int:
     return 0
 
 
+def cmd_metrics(args) -> int:
+    run = run_observed_experiment(
+        args.experiment, smoke=args.smoke, seed=args.seed
+    )
+    doc = write_metrics_json(run, args.output)
+    if args.chrome_trace:
+        run.obs.tracer.write_chrome_trace(args.chrome_trace)
+
+    summary = doc["summary"]
+    faults = run.obs.metrics.total("tee.epc.page_faults")
+    print(
+        format_table(
+            ["run", "final RMSE", "sim time [s]", "MiB moved", "EPC faults"],
+            [[
+                summary["label"],
+                f"{summary['final_rmse']:.4f}",
+                f"{summary['total_time_s']:.1f}",
+                f"{summary['total_bytes'] / 2**20:.2f}",
+                f"{faults:.0f}",
+            ]],
+        )
+    )
+    print(f"wrote {args.output} "
+          f"({len(doc['spans'])} spans, {len(doc['counters'])} counters, "
+          f"{len(doc['edges'])} edges)")
+    if args.chrome_trace:
+        print(f"wrote {args.chrome_trace}")
+    return 0
+
+
 def cmd_info(_args) -> int:
     import os
 
@@ -183,6 +247,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": cmd_simulate,
         "compare": cmd_compare,
         "datasets": cmd_datasets,
+        "metrics": cmd_metrics,
         "info": cmd_info,
     }
     return handlers[args.command](args)

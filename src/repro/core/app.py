@@ -39,7 +39,6 @@ from repro.core.messages import (
 )
 from repro.core.stats import EpochStats
 from repro.core.store import DataStore
-from repro.data.dataset import RatingsDataset
 from repro.ml.dnn.model import DnnRecommender
 from repro.ml.mf import MatrixFactorization
 from repro.net.serialization import (
@@ -120,7 +119,9 @@ class RexEnclaveApp(TrustedApp):
                 self.ctx.ocall("send_message", neighbor, KIND_QUOTE, quote_bytes)
         else:
             for neighbor in self.neighbors:
-                self.channels[neighbor] = PlaintextChannel(self.node_id, neighbor)
+                self.channels[neighbor] = self._bind_channel(
+                    PlaintextChannel(self.node_id, neighbor)
+                )
             self._maybe_start()
         if not self.neighbors:
             self._maybe_start()
@@ -165,10 +166,18 @@ class RexEnclaveApp(TrustedApp):
         quote = Quote.from_bytes(bytes(blob))
         key = self.attestor.process_peer_quote(f"rex-{src}", quote)
         if self.config.crypto_mode is CryptoMode.REAL:
-            self.channels[src] = SecureChannel(key, self.node_id, src)
+            channel = SecureChannel(key, self.node_id, src)
         else:
-            self.channels[src] = AccountedChannel(key, self.node_id, src)
+            channel = AccountedChannel(key, self.node_id, src)
+        self.channels[src] = self._bind_channel(channel)
         self._maybe_start()
+
+    def _bind_channel(self, channel):
+        """Attach the run's registry so channel bytes land in obs."""
+        metrics = self.ctx.metrics
+        if metrics is not None:
+            channel.bind_metrics(metrics, node=self.node_id)
+        return channel
 
     def _maybe_start(self) -> None:
         """Run epoch 0 once every neighbor channel exists."""
@@ -327,8 +336,12 @@ class RexEnclaveApp(TrustedApp):
                 # RMW barrier message: header only, no content.
                 plaintext = pack_payload(header_empty, b"")
                 stats.shared_empty_messages += 1
-            wire = self.channels[neighbor].seal(plaintext)
-            stats.shared_payload_bytes += len(wire)
+            channel = self.channels[neighbor]
+            sealed_before = channel.sealed_bytes
+            wire = channel.seal(plaintext)
+            # The channel layer is the accounting source of record for
+            # wire bytes; read its counter instead of re-measuring.
+            stats.shared_payload_bytes += channel.sealed_bytes - sealed_before
             self.ctx.ocall("send_message", neighbor, KIND_PAYLOAD, wire)
 
     # ------------------------------------------------------------------ #

@@ -20,11 +20,14 @@ cipher time.  Its use is confined to experiment configs that declare
 from __future__ import annotations
 
 import struct
+from typing import Optional
 
+from repro.obs import MetricsRegistry
 from repro.tee.crypto.aead import ChaCha20Poly1305, TAG_LENGTH
 from repro.tee.errors import ChannelNotEstablished
 
 __all__ = [
+    "ChannelAccounting",
     "SecureChannel",
     "AccountedChannel",
     "PlaintextChannel",
@@ -40,7 +43,46 @@ class ReplayError(ChannelNotEstablished):
     """A sealed message arrived with a non-monotonic sequence number."""
 
 
-class SecureChannel:
+class ChannelAccounting:
+    """Wire-byte accounting shared by every channel flavour.
+
+    The channel is where wire bytes are *produced*, so it is the layer of
+    record for the protocol's send-side accounting: the enclave app reads
+    :attr:`sealed_bytes` deltas into its :class:`~repro.core.stats.
+    EpochStats` instead of re-measuring buffers, and the transport meter
+    independently counts *delivery* -- the two views must agree, which a
+    regression test pins (no double counting within either layer).
+    """
+
+    def _init_accounting(self) -> None:
+        self.sealed_messages = 0
+        self.sealed_bytes = 0
+        self.opened_messages = 0
+        self.opened_bytes = 0
+        self._metrics: Optional[MetricsRegistry] = None
+        self._metric_labels: dict = {}
+
+    def bind_metrics(self, metrics: MetricsRegistry, **labels: object) -> None:
+        """Mirror this channel's counters into a shared registry."""
+        self._metrics = metrics
+        self._metric_labels = dict(labels)
+
+    def _record_seal(self, wire_len: int) -> None:
+        self.sealed_messages += 1
+        self.sealed_bytes += wire_len
+        if self._metrics is not None:
+            self._metrics.counter("chan.sealed.bytes", **self._metric_labels).inc(wire_len)
+            self._metrics.counter("chan.sealed.messages", **self._metric_labels).inc()
+
+    def _record_open(self, wire_len: int) -> None:
+        self.opened_messages += 1
+        self.opened_bytes += wire_len
+        if self._metrics is not None:
+            self._metrics.counter("chan.opened.bytes", **self._metric_labels).inc(wire_len)
+            self._metrics.counter("chan.opened.messages", **self._metric_labels).inc()
+
+
+class SecureChannel(ChannelAccounting):
     """One direction-aware AEAD channel bound to a pairwise key."""
 
     def __init__(self, key: bytes, local_id: int, peer_id: int):
@@ -49,6 +91,7 @@ class SecureChannel:
         self.peer_id = int(peer_id)
         self._send_seq = 0
         self._highest_received = -1
+        self._init_accounting()
 
     @staticmethod
     def _nonce(seq: int, sender_id: int) -> bytes:
@@ -59,7 +102,9 @@ class SecureChannel:
         seq = self._send_seq
         self._send_seq += 1
         sealed = self._cipher.encrypt(self._nonce(seq, self.local_id), plaintext, aad)
-        return struct.pack("<Q", seq) + sealed
+        wire = struct.pack("<Q", seq) + sealed
+        self._record_seal(len(wire))
+        return wire
 
     def open(self, wire: bytes, aad: bytes = b"") -> bytes:
         """Authenticate, replay-check and decrypt a framed message."""
@@ -70,6 +115,7 @@ class SecureChannel:
             raise ReplayError(f"sequence {seq} already seen on this channel")
         plaintext = self._cipher.decrypt(self._nonce(seq, self.peer_id), wire[8:], aad)
         self._highest_received = seq
+        self._record_open(len(wire))
         return plaintext
 
     def overhead(self) -> int:
@@ -85,7 +131,9 @@ class AccountedChannel(SecureChannel):
     def seal(self, plaintext: bytes, aad: bytes = b"") -> bytes:
         seq = self._send_seq
         self._send_seq += 1
-        return struct.pack("<Q", seq) + plaintext + b"\x00" * TAG_LENGTH
+        wire = struct.pack("<Q", seq) + plaintext + b"\x00" * TAG_LENGTH
+        self._record_seal(len(wire))
+        return wire
 
     def open(self, wire: bytes, aad: bytes = b"") -> bytes:
         if len(wire) < 8 + TAG_LENGTH:
@@ -94,10 +142,11 @@ class AccountedChannel(SecureChannel):
         if seq <= self._highest_received:
             raise ReplayError(f"sequence {seq} already seen on this channel")
         self._highest_received = seq
+        self._record_open(len(wire))
         return wire[8:-TAG_LENGTH]
 
 
-class PlaintextChannel:
+class PlaintextChannel(ChannelAccounting):
     """The native (no-SGX) build's channel: plaintext, zero overhead.
 
     The paper's native baseline transmits in clear -- "both raw data and
@@ -108,11 +157,14 @@ class PlaintextChannel:
     def __init__(self, local_id: int, peer_id: int):
         self.local_id = int(local_id)
         self.peer_id = int(peer_id)
+        self._init_accounting()
 
     def seal(self, plaintext: bytes, aad: bytes = b"") -> bytes:
+        self._record_seal(len(plaintext))
         return plaintext
 
     def open(self, wire: bytes, aad: bytes = b"") -> bytes:
+        self._record_open(len(wire))
         return wire
 
     def overhead(self) -> int:

@@ -10,16 +10,16 @@ event-driven, exactly like the real system, with the epoch barrier
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro._rng import child_rng
 from repro.core.config import RexConfig
 from repro.core.host import RexHost
 from repro.core.stats import EpochStats
 from repro.data.dataset import RatingsDataset
 from repro.net.topology import Topology
 from repro.net.transport import Network
+from repro.obs import Observability
 from repro.tee.attestation import AttestationService
 from repro.tee.enclave import Platform
 from repro.tee.epc import EpcModel
@@ -64,20 +64,25 @@ class RexCluster:
         secure: bool = True,
         nodes_per_machine: int = 2,
         epc: Optional[EpcModel] = None,
+        obs: Optional[Observability] = None,
     ):
         self.topology = topology
         self.config = config
         self.secure = secure
+        self.obs = obs
+        metrics = obs.metrics if obs is not None else None
         n_nodes = topology.n_nodes
         n_machines = (n_nodes + nodes_per_machine - 1) // nodes_per_machine
         self.epc = epc if epc is not None else EpcModel(enclaves_per_machine=nodes_per_machine)
 
         self.attestation_service = AttestationService()
         self.platforms = [
-            Platform(f"sgx-machine-{m}", self.attestation_service, epc=self.epc)
+            Platform(
+                f"sgx-machine-{m}", self.attestation_service, epc=self.epc, metrics=metrics
+            )
             for m in range(n_machines)
         ]
-        self.network = Network()
+        self.network = Network(metrics)
         self.hosts: List[RexHost] = []
         for node in range(n_nodes):
             platform = self.platforms[node // nodes_per_machine]

@@ -9,7 +9,7 @@ recorder aggregates them into the evaluation's tables and figures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 __all__ = ["EpochStats"]

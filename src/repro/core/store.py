@@ -14,7 +14,6 @@ exposes its byte footprint for the EPC/memory accounting.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -11,7 +11,7 @@ binary codec operate on directly, with no per-row Python objects.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, Tuple
 
 import numpy as np
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional
 
 from repro.net.metrics import TrafficMeter
+from repro.obs import MetricsRegistry
 
 __all__ = ["Message", "Endpoint", "Network"]
 
@@ -59,9 +60,9 @@ class Endpoint:
 class Network:
     """The set of endpoints plus global traffic accounting."""
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
         self._endpoints: Dict[int, Endpoint] = {}
-        self.meter = TrafficMeter()
+        self.meter = TrafficMeter(metrics)
 
     def endpoint(self, node_id: int) -> Endpoint:
         """Create (or fetch) the endpoint for ``node_id``."""

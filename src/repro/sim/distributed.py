@@ -14,10 +14,14 @@ source of the paper's share-step anomaly).
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.core.cluster import ClusterRun
 from repro.core.config import ModelKind
+from repro.obs import Observability
+from repro.obs.stages import record_epoch
 from repro.sim.recorder import MIB, EpochRecord, RunResult
 from repro.sim.time_model import DEFAULT_TIME_MODEL, StageTimer, TimeModel
 from repro.tee.cost_model import NATIVE_COST_MODEL, SGX1_COST_MODEL, SgxCostModel
@@ -30,11 +34,22 @@ def timeline_from_cluster(
     *,
     cost_model: SgxCostModel = None,
     time_model: TimeModel = DEFAULT_TIME_MODEL,
+    obs: Optional[Observability] = None,
 ) -> RunResult:
-    """Turn a cluster's reported work into a timed RunResult."""
+    """Turn a cluster's reported work into a timed RunResult.
+
+    With an :class:`~repro.obs.Observability` the replay also emits the
+    shared per-epoch span/counter schema (:mod:`repro.obs.stages`) plus
+    the EPC paging metrics the :class:`StageTimer` reports.
+    """
     if cost_model is None:
         cost_model = SGX1_COST_MODEL if run.secure else NATIVE_COST_MODEL
-    timer = StageTimer(time_model=time_model, cost_model=cost_model, epc=run.epc)
+    timer = StageTimer(
+        time_model=time_model,
+        cost_model=cost_model,
+        epc=run.epc,
+        metrics=obs.metrics if obs is not None else None,
+    )
     cfg = run.config
     result = RunResult(
         label=f"{cfg.label}{' (SGX)' if run.secure else ' (native)'}",
@@ -116,10 +131,24 @@ def timeline_from_cluster(
         durations = StageTimer.epoch_duration(
             stages, overlap_share=cfg.parallel_share
         )
+        epoch_start = sim_clock
         sim_clock += float(np.max(durations))
         epoch_bytes = int(arrays["shared_payload_bytes"].sum())
         cum_bytes += epoch_bytes
         rmses = np.array([s.test_rmse for s in stats], dtype=np.float64)
+        record_epoch(
+            obs,
+            epoch=epoch,
+            start_s=epoch_start,
+            duration_s=sim_clock - epoch_start,
+            stage_seconds={name: float(np.mean(v)) for name, v in stages.items()},
+            payload_bytes=epoch_bytes,
+            serialized_bytes=int(arrays["serialized_bytes"].sum()),
+            messages=int(
+                arrays["shared_messages"].sum() + arrays["shared_empty_messages"].sum()
+            ),
+            rmse=float(np.nanmean(rmses)),
+        )
         result.records.append(
             EpochRecord(
                 epoch=epoch,

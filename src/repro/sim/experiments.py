@@ -39,7 +39,7 @@ from repro.core.config import (
     SharingScheme,
 )
 from repro.core.cluster import RexCluster
-from repro.data.dataset import RatingsDataset, TrainTestSplit
+from repro.data.dataset import TrainTestSplit
 from repro.data.movielens import MOVIELENS_25M_CAPPED, MOVIELENS_LATEST, generate_movielens
 from repro.data.partition import partition_one_user_per_node, partition_users_across_nodes
 from repro.ml.dnn.model import DnnHyperParams

@@ -38,6 +38,8 @@ from repro.data.dataset import RatingsDataset
 from repro.ml.mf import sgd_step
 from repro.net.serialization import measure_mf_state, measure_triplets
 from repro.net.topology import Topology
+from repro.obs import Observability
+from repro.obs.stages import record_epoch
 from repro.sim.recorder import MIB, EpochRecord, RunResult
 from repro.sim.time_model import DEFAULT_TIME_MODEL, StageTimer, TimeModel
 
@@ -289,14 +291,14 @@ class MfFleetSim:
         renormalization a no-op, and the merge collapses to one BLAS
         matmul per parameter group.
         """
-        n, U, I, k = self.n_nodes, self.n_users, self.n_items, self.k
+        n, n_users, n_items, k = self.n_nodes, self.n_users, self.n_items, self.k
         W, A = self._mh_dense, self._adj_matrix
         merged_rows = A @ np.column_stack([self.SU.sum(1), self.SI.sum(1)]).astype(np.float32)
         incoming_rows = merged_rows.sum(1) - (self.SU.sum(1) + self.SI.sum(1))
 
         for factors, biases, seen, width in (
-            (self.XU, self.BU, self.SU, U),
-            (self.YI, self.BI, self.SI, I),
+            (self.XU, self.BU, self.SU, n_users),
+            (self.YI, self.BI, self.SI, n_items),
         ):
             flat = factors.reshape(n, width * k)
             if self._masks_saturated:
@@ -427,10 +429,17 @@ class MfFleetSim:
     # ------------------------------------------------------------------ #
     # The run loop
     # ------------------------------------------------------------------ #
-    def run(self) -> RunResult:
-        """Execute ``config.epochs`` epochs and return the full record."""
+    def run(self, obs: Optional[Observability] = None) -> RunResult:
+        """Execute ``config.epochs`` epochs and return the full record.
+
+        With an :class:`~repro.obs.Observability` the run also emits the
+        shared per-epoch span/counter schema (see :mod:`repro.obs.stages`).
+        """
         cfg = self.config
-        timer = StageTimer(time_model=self.time_model)
+        timer = StageTimer(
+            time_model=self.time_model,
+            metrics=obs.metrics if obs is not None else None,
+        )
         degrees = self.topology.degrees.astype(np.float64)
         result = RunResult(
             label=cfg.label,
@@ -529,9 +538,21 @@ class MfFleetSim:
             durations = StageTimer.epoch_duration(
                 stages, overlap_share=cfg.parallel_share
             )
+            epoch_start = sim_clock
             sim_clock += float(np.max(durations))
             epoch_bytes = int(payload_bytes.sum())
             cum_bytes += epoch_bytes
+            record_epoch(
+                obs,
+                epoch=epoch,
+                start_s=epoch_start,
+                duration_s=sim_clock - epoch_start,
+                stage_seconds={name: float(np.mean(v)) for name, v in stages.items()},
+                payload_bytes=epoch_bytes,
+                serialized_bytes=int(content_bytes.sum()),
+                messages=int(full_messages.sum() + empty_messages.sum()),
+                rmse=float(np.nanmean(rmse)),
+            )
             result.records.append(
                 EpochRecord(
                     epoch=epoch,

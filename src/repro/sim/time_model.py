@@ -23,10 +23,11 @@ computes all nodes' stage times in one vectorized call).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 
+from repro.obs import DEFAULT_COUNT_BUCKETS, MetricsRegistry
 from repro.tee.cost_model import NATIVE_COST_MODEL, SgxCostModel
 from repro.tee.epc import EpcModel
 
@@ -152,6 +153,9 @@ class StageTimer:
     time_model: TimeModel = DEFAULT_TIME_MODEL
     cost_model: SgxCostModel = NATIVE_COST_MODEL
     epc: EpcModel = EpcModel()
+    #: Optional observability sink; when set, every stage assembly also
+    #: reports EPC page-fault counts/histograms and overcommit peaks.
+    metrics: Optional[MetricsRegistry] = None
 
     def mf_stage_times(
         self,
@@ -236,19 +240,40 @@ class StageTimer:
             [self.cost_model.compute_multiplier(r, self.epc) for r in resident]
         )
 
-    def _paging(self, touched: ArrayLike, resident: ArrayLike) -> ArrayLike:
+    def _paging(self, touched: ArrayLike, resident: ArrayLike, stage: str = "merge") -> ArrayLike:
         if not self.cost_model.enabled:
+            if self.metrics is not None:
+                self.metrics.counter("tee.epc.page_faults", stage=stage).inc(0.0)
             return np.zeros_like(np.asarray(touched, dtype=float))
         touched = np.asarray(touched, dtype=float)
         resident = np.asarray(resident, dtype=float)
         if touched.ndim == 0:
-            return self.cost_model.paging_time(float(touched), float(resident), self.epc)
-        return np.array(
-            [
-                self.cost_model.paging_time(t, r, self.epc)
-                for t, r in zip(touched, resident)
-            ]
+            touched = touched.reshape(1)
+            resident = resident.reshape(1)
+            scalar = True
+        else:
+            scalar = False
+        faults = np.array(
+            [self.epc.page_faults(t, r) for t, r in zip(touched, resident)]
         )
+        if self.metrics is not None:
+            self._observe_epc(stage, faults, resident)
+        times = faults * self.cost_model.page_fault_cost_s
+        return float(times[0]) if scalar else times
+
+    def _observe_epc(self, stage: str, faults: np.ndarray, resident: np.ndarray) -> None:
+        """Report paging activity into the observability registry."""
+        m = self.metrics
+        m.counter("tee.epc.page_faults", stage=stage).inc(float(faults.sum()))
+        hist = m.histogram(
+            "tee.epc.page_faults_per_node", buckets=DEFAULT_COUNT_BUCKETS, stage=stage
+        )
+        for value in faults:
+            hist.observe(float(value))
+        if len(resident):
+            m.gauge("tee.epc.overcommit_ratio").set(
+                self.epc.overcommit_ratio(float(resident.max()))
+            )
 
     @staticmethod
     def epoch_duration(stages: Dict[str, ArrayLike], *, overlap_share: bool = False) -> ArrayLike:

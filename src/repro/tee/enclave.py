@@ -21,9 +21,10 @@ tracked in :class:`TrustedMemory` so the EPC model can detect overcommit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
+from repro.obs import MetricsRegistry
 from repro.tee.attestation import (
     USER_DATA_LENGTH,
     AttestationService,
@@ -145,6 +146,11 @@ class EnclaveContext:
         self.memory = TrustedMemory()
 
     @property
+    def metrics(self) -> Optional[MetricsRegistry]:
+        """The shared observability registry, when the host wired one."""
+        return self._enclave.metrics
+
+    @property
     def measurement(self) -> Measurement:
         return self._enclave.measurement
 
@@ -198,6 +204,8 @@ class Enclave:
         trusted_class: type,
         enclave_id: str,
         attestation_service: AttestationService,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if not issubclass(trusted_class, TrustedApp):
             raise EnclaveError("trusted code must subclass TrustedApp")
@@ -205,6 +213,7 @@ class Enclave:
         self.enclave_id = enclave_id
         self.measurement = measure_class(trusted_class)
         self.counters = TransitionCounters()
+        self.metrics = metrics
         self._attestation_service = attestation_service
         self._ocall_handlers: Dict[str, Callable] = {}
         self._context = EnclaveContext(self)
@@ -233,13 +242,23 @@ class Enclave:
         handler = self._ecalls.get(name)
         if handler is None:
             raise UnknownEcall(f"enclave {self.enclave_id!r} exports no ecall {name!r}")
+        crossing_bytes = _marshalled_size(args) + _marshalled_size(kwargs)
         self.counters.ecalls += 1
-        self.counters.ecall_bytes += _marshalled_size(args) + _marshalled_size(kwargs)
+        self.counters.ecall_bytes += crossing_bytes
+        if self.metrics is not None:
+            self.metrics.counter("tee.enclave.ecalls", enclave=self.enclave_id).inc()
+            self.metrics.counter("tee.enclave.ecall.bytes", enclave=self.enclave_id).inc(
+                crossing_bytes
+            )
         self._in_enclave = True
         try:
             return handler(*args, **kwargs)
         finally:
             self._in_enclave = False
+            if self.metrics is not None:
+                self.metrics.gauge(
+                    "tee.enclave.resident.bytes", enclave=self.enclave_id
+                ).set(self.memory.resident_bytes)
 
     def _dispatch_ocall(self, name: str, args: tuple, kwargs: dict) -> Any:
         if not self._in_enclave:
@@ -247,8 +266,14 @@ class Enclave:
         handler = self._ocall_handlers.get(name)
         if handler is None:
             raise UnknownOcall(f"host registered no ocall {name!r}")
+        crossing_bytes = _marshalled_size(args) + _marshalled_size(kwargs)
         self.counters.ocalls += 1
-        self.counters.ocall_bytes += _marshalled_size(args) + _marshalled_size(kwargs)
+        self.counters.ocall_bytes += crossing_bytes
+        if self.metrics is not None:
+            self.metrics.counter("tee.enclave.ocalls", enclave=self.enclave_id).inc()
+            self.metrics.counter("tee.enclave.ocall.bytes", enclave=self.enclave_id).inc(
+                crossing_bytes
+            )
         # Untrusted code runs outside the enclave; re-entering through a
         # nested ecall is not modelled (REX does not need it).
         self._in_enclave = False
@@ -275,9 +300,11 @@ class Platform:
         *,
         epc: Optional[EpcModel] = None,
         register: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.platform_id = platform_id
         self.epc = epc if epc is not None else EpcModel()
+        self.metrics = metrics
         self.quoting_enclave = QuotingEnclave(platform_id)
         self.attestation_service = attestation_service
         self.enclaves: Dict[str, Enclave] = {}
@@ -290,7 +317,9 @@ class Platform:
         """Instantiate trusted code in a fresh enclave on this platform."""
         if enclave_id in self.enclaves:
             raise EnclaveError(f"enclave id {enclave_id!r} already exists")
-        enclave = Enclave(self, trusted_class, enclave_id, self.attestation_service)
+        enclave = Enclave(
+            self, trusted_class, enclave_id, self.attestation_service, metrics=self.metrics
+        )
         self.enclaves[enclave_id] = enclave
         return enclave
 

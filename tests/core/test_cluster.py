@@ -10,7 +10,7 @@ from repro.core import (
     RexConfig,
     SharingScheme,
 )
-from repro.core.messages import KIND_PAYLOAD, KIND_QUOTE
+from repro.core.messages import KIND_PAYLOAD
 from repro.data.partition import partition_users_across_nodes
 from repro.ml.mf import MfHyperParams
 from repro.net.topology import Topology

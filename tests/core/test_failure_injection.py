@@ -10,7 +10,6 @@ import pytest
 from repro.core import (
     CryptoMode,
     Dissemination,
-    ModelKind,
     RexCluster,
     RexConfig,
     SharingScheme,
@@ -18,7 +17,6 @@ from repro.core import (
 from repro.core.channel import ReplayError, SecureChannel
 from repro.core.messages import (
     CONTENT_MF_MODEL,
-    CONTENT_TRIPLETS,
     KIND_PAYLOAD,
     KIND_QUOTE,
     PayloadHeader,
@@ -26,7 +24,7 @@ from repro.core.messages import (
 )
 from repro.data.partition import partition_users_across_nodes
 from repro.ml.mf import MfHyperParams
-from repro.net.serialization import encode_mf_state, encode_triplets
+from repro.net.serialization import encode_mf_state
 from repro.net.topology import Topology
 from repro.tee.crypto.aead import AeadError
 from repro.tee.errors import ChannelNotEstablished

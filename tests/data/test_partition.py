@@ -1,6 +1,5 @@
 """Partitioning a dataset across decentralized nodes."""
 
-import numpy as np
 import pytest
 
 from repro.data.partition import (

@@ -71,3 +71,50 @@ class TestMetering:
     def test_meter_rejects_negative(self):
         with pytest.raises(ValueError):
             TrafficMeter().record(0, 1, -5)
+
+    def test_snapshot_carries_receive_side(self, net):
+        """Regression: per-receiver counts were tracked by the meter but
+        dropped at snapshot time, so receive-side deltas were lost."""
+        a, _b = net.endpoint(0), net.endpoint(1)
+        a.send(1, b"123", kind="payload")
+        snap = net.meter.snapshot()
+        assert snap.bytes_received == 3
+        assert snap.messages_received == 1
+        assert snap.per_node_received_bytes == {1: 3}
+        assert snap.per_node_sent_bytes == {0: 3}
+        assert snap.kind_bytes == {"payload": 3}
+        assert snap.kind_messages == {"payload": 1}
+
+    def test_delta_diffs_every_field(self, net):
+        a, _b = net.endpoint(0), net.endpoint(1)
+        c = net.endpoint(2)
+        a.send(1, b"123", kind="payload")
+        before = net.meter.snapshot()
+        c.send(1, b"45678", kind="quote")
+        delta = net.meter.snapshot().delta(before)
+        assert delta.bytes_sent == 5 and delta.bytes_received == 5
+        assert delta.messages_sent == 1 and delta.messages_received == 1
+        # unchanged keys are dropped, changed ones diffed
+        assert delta.per_node_sent_bytes == {2: 5}
+        assert delta.per_node_received_bytes == {1: 5}
+        assert delta.kind_bytes == {"quote": 5}
+
+    def test_per_edge_counters(self, net):
+        a = net.endpoint(0)
+        net.endpoint(1)
+        net.endpoint(2)
+        a.send(1, b"xx")
+        a.send(2, b"yyy")
+        a.send(2, b"z")
+        assert net.meter.edge_bytes() == {(0, 1): 2, (0, 2): 4}
+        assert net.meter.edge_messages() == {(0, 1): 1, (0, 2): 2}
+
+    def test_shared_registry(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        net = Network(registry)
+        a = net.endpoint(0)
+        net.endpoint(1)
+        a.send(1, b"1234", kind="payload")
+        assert registry.value("net.kind.bytes", kind="payload") == 4

@@ -11,7 +11,6 @@ from repro.tee import (
     Platform,
     Quote,
     QuoteVerificationError,
-    QuotingEnclave,
     TrustedApp,
     derive_channel_key,
     ecall,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.tee.crypto.hkdf import hkdf, hkdf_expand, hkdf_extract
-from repro.tee.crypto.signing import SigningKey, VerifyKey
+from repro.tee.crypto.signing import SigningKey
 
 
 class TestHkdfRfc5869:

@@ -1,6 +1,5 @@
 """Table builders and text rendering."""
 
-import math
 
 import pytest
 

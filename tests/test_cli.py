@@ -44,6 +44,27 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "final RMSE" in out
 
+    def test_metrics_smoke(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "metrics.json"
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            [
+                "metrics", "--experiment", "fig1", "--smoke",
+                "--output", str(out_path), "--chrome-trace", str(trace_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "EPC faults" in out
+        doc = json.loads(out_path.read_text())
+        assert doc["schema"] == "repro.metrics/v1"
+        assert doc["summary"]["final_rmse"] <= 1.10
+        assert doc["spans"] and doc["edges"] and doc["counters"]
+        trace = json.loads(trace_path.read_text())
+        assert trace["traceEvents"]
+
     def test_compare_small(self, capsys):
         code = main(
             [

@@ -6,7 +6,6 @@ in less simulated time, moves far fewer bytes, and the simulator agrees
 with the real enclave runtime.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import (
