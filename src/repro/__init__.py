@@ -42,7 +42,6 @@ Quickstart::
 
 from repro.core import (
     CryptoMode,
-    DataStore,
     Dissemination,
     ModelKind,
     RexCluster,
@@ -68,7 +67,6 @@ __version__ = "1.0.0"
 __all__ = [
     "AttestationService",
     "CryptoMode",
-    "DataStore",
     "Dissemination",
     "DnnFleetSim",
     "DnnRecommender",

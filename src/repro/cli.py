@@ -13,6 +13,9 @@ Commands
 ``metrics``
     Run one fully-observed distributed experiment (enclaves, EPC,
     per-edge traffic) and emit a machine-readable ``metrics.json``.
+``lint``
+    Run the enclave-boundary / crypto-misuse / determinism static
+    analyzer over source trees (text or JSON findings).
 ``info``
     Show the library version and the experiment environment knobs.
 """
@@ -102,6 +105,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="also write a chrome://tracing / Perfetto JSON trace",
+    )
+
+    lint = sub.add_parser(
+        "lint", help="boundary/crypto/determinism static analysis"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src/repro"], help="files or directories"
+    )
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument(
+        "--fail-on",
+        choices=("warning", "error"),
+        default="error",
+        help="lowest severity that makes the exit status non-zero",
+    )
+    lint.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="also write the findings document to a file",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
     )
 
     sub.add_parser("info", help="version and environment knobs")
@@ -231,6 +257,32 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.lint import Severity, lint_paths, rule_catalog
+
+    if args.list_rules:
+        rows = [
+            [rule["id"], rule["severity"], rule["name"], rule["description"]]
+            for rule in rule_catalog()
+        ]
+        print(format_table(["rule", "severity", "name", "checks for"], rows,
+                           title="repro-lint rule catalog"))
+        return 0
+
+    report = lint_paths(args.paths)
+    rendered = (
+        report.format_json() if args.format == "json" else report.format_text()
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(rendered + "\n")
+        print(f"wrote {args.output} ({report.errors} error(s), "
+              f"{report.warnings} warning(s))")
+    else:
+        print(rendered)
+    return 1 if report.worst_at_least(Severity.parse(args.fail_on)) else 0
+
+
 def cmd_info(_args) -> int:
     import os
 
@@ -248,6 +300,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": cmd_compare,
         "datasets": cmd_datasets,
         "metrics": cmd_metrics,
+        "lint": cmd_lint,
         "info": cmd_info,
     }
     return handlers[args.command](args)

@@ -11,13 +11,14 @@
 - :mod:`~repro.core.channel` -- AEAD channels with replay protection.
 """
 
+# Enclave-internal classes (SecureChannel, AccountedChannel,
+# PlaintextChannel, DataStore) are deliberately NOT re-exported here:
+# the package namespace is importable from host-side code, and
+# re-exporting them would launder secret-bearing names past the
+# REX-B001 boundary rule.  Trusted code imports them from their home
+# modules directly.
 from repro.core.app import RexEnclaveApp
-from repro.core.channel import (
-    AccountedChannel,
-    PlaintextChannel,
-    ReplayError,
-    SecureChannel,
-)
+from repro.core.channel import ReplayError
 from repro.core.cluster import ClusterRun, RexCluster
 from repro.core.config import (
     CryptoMode,
@@ -28,22 +29,17 @@ from repro.core.config import (
 )
 from repro.core.host import RexHost
 from repro.core.stats import EpochStats
-from repro.core.store import DataStore
 
 __all__ = [
-    "AccountedChannel",
     "ClusterRun",
     "CryptoMode",
-    "DataStore",
     "Dissemination",
     "EpochStats",
     "ModelKind",
-    "PlaintextChannel",
     "ReplayError",
     "RexCluster",
     "RexConfig",
     "RexEnclaveApp",
     "RexHost",
-    "SecureChannel",
     "SharingScheme",
 ]

@@ -1,0 +1,41 @@
+"""``repro.lint`` -- enclave-boundary, crypto-misuse and determinism linter.
+
+A dependency-free AST analyzer enforcing the invariants the runtime
+substrate cannot: untrusted code never imports enclave internals, tags
+are compared in constant time, nonces derive from channel counters, and
+no wall-clock/entropy read sneaks into the deterministic simulation.
+
+Run it as ``repro lint [paths ...]`` or programmatically::
+
+    from repro.lint import lint_paths
+    report = lint_paths(["src/repro"])
+    assert report.errors == 0
+"""
+
+from repro.lint.classify import Trust, classify_module
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import LintContext, Rule, all_rules, register, rule_catalog
+from repro.lint.runner import (
+    LintReport,
+    lint_file,
+    lint_paths,
+    lint_source,
+    module_name_for,
+)
+
+__all__ = [
+    "Trust",
+    "classify_module",
+    "Finding",
+    "Severity",
+    "LintContext",
+    "Rule",
+    "register",
+    "all_rules",
+    "rule_catalog",
+    "LintReport",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "module_name_for",
+]

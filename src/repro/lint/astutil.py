@@ -1,0 +1,43 @@
+"""Small AST helpers shared by the rule modules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+__all__ = ["dotted_name", "call_func_name", "walk_functions", "is_constant_expr"]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a pure Name/Attribute chain, else ``None``."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_func_name(node: ast.Call) -> Optional[str]:
+    """Dotted name of the called object, when statically resolvable."""
+    return dotted_name(node.func)
+
+
+def walk_functions(tree: ast.AST) -> Iterator[ast.AST]:
+    """All function-like scopes (module, functions, lambdas) in ``tree``."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            yield node
+
+
+def is_constant_expr(node: ast.AST) -> bool:
+    """True when ``node`` contains no Name/Attribute/Call -- i.e. it
+    evaluates to the same value on every execution (literals, literal
+    arithmetic, f-string-free concatenation)."""
+    return not any(
+        isinstance(sub, (ast.Name, ast.Attribute, ast.Call))
+        for sub in ast.walk(node)
+    )

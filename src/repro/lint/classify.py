@@ -1,0 +1,149 @@
+"""Trusted/untrusted module classification the boundary rules encode.
+
+The REX security argument (paper Sections II-C and III-B) rests on a
+static split of the codebase:
+
+- **TRUSTED** modules are enclave-resident: the protocol logic
+  (``repro.core.app``), the raw-data store and secure channels, the
+  crypto primitives, the in-enclave attestation state machine and the
+  model code that trains on plaintext ratings.  Their secret-bearing
+  names must never be imported by host-side code.
+- **UNTRUSTED** modules are the host world: bootstrap, network
+  transport, dataset files, CLIs, analysis.  They may only talk to
+  trusted code through :meth:`Enclave.ecall` / registered ocalls.
+- **SHARED** modules are the substrate and the types that legitimately
+  cross the boundary (the enclave mechanism itself, wire-format
+  message/stat/config dataclasses, observability, the simulators that
+  deliberately play every role in one process).
+
+The classification is by module-name prefix so the linter needs no
+imports: it works on source trees that do not import cleanly.
+"""
+
+from __future__ import annotations
+
+import re
+from enum import Enum
+from typing import Iterable
+
+__all__ = [
+    "Trust",
+    "classify_module",
+    "is_trusted_module",
+    "TRUSTED_PREFIXES",
+    "SHARED_PREFIXES",
+    "TRUSTED_INTERNAL_NAMES",
+    "ENTROPY_SHIM_MODULES",
+    "has_secret_token",
+]
+
+
+class Trust(Enum):
+    TRUSTED = "trusted"
+    UNTRUSTED = "untrusted"
+    SHARED = "shared"
+
+
+#: Enclave-resident code (Algorithm 2 world).
+TRUSTED_PREFIXES: tuple = (
+    "repro.core.app",
+    "repro.core.store",
+    "repro.core.channel",
+    "repro.tee.crypto",
+    "repro.tee.attestation",
+    "repro.ml",
+)
+
+#: Substrate + boundary-crossing types + sanctioned whole-system models.
+#: ``repro.sim`` fleet simulators are the fidelity-tier shortcut world:
+#: they model every node's trusted role centrally, without enclaves, and
+#: are therefore exempt from the boundary rules (but not from the crypto
+#: or determinism rules).
+SHARED_PREFIXES: tuple = (
+    "repro.tee",
+    "repro.core.stats",
+    "repro.core.messages",
+    "repro.core.config",
+    "repro.obs",
+    "repro.lint",
+    "repro._rng",
+)
+
+#: Secret-bearing names defined in trusted modules.  Untrusted code
+#: importing any of these is a boundary leak: these objects hold or can
+#: mint key material, plaintext ratings, or protocol state.  Public
+#: constants (sizes, overheads) and hyper-parameter dataclasses exported
+#: by the same modules are deliberately *not* listed.
+TRUSTED_INTERNAL_NAMES: frozenset = frozenset(
+    {
+        # repro.core.store / channel
+        "DataStore",
+        "SecureChannel",
+        "AccountedChannel",
+        "PlaintextChannel",
+        # repro.tee.crypto
+        "ChaCha20Poly1305",
+        "chacha20_block",
+        "chacha20_encrypt",
+        "chacha20_xor",
+        "poly1305_mac",
+        "hkdf",
+        "hkdf_extract",
+        "hkdf_expand",
+        "X25519PrivateKey",
+        "SigningKey",
+        # repro.tee.attestation
+        "MutualAttestation",
+        "derive_channel_key",
+    }
+)
+
+#: Modules allowed to touch real entropy / wall-clock sources.  Only the
+#: seed-derivation helper lives here by default; crypto keygen paths use
+#: per-line suppressions with justifications instead, so every exception
+#: stays visible at the call site.
+ENTROPY_SHIM_MODULES: frozenset = frozenset({"repro._rng"})
+
+#: Identifier tokens that mark a value as secret-tainted for the
+#: ecall-return rule: key material, shared secrets, plaintext, the raw
+#: rating store.
+_SECRET_TOKENS = frozenset(
+    {
+        "key",
+        "keys",
+        "secret",
+        "secrets",
+        "plaintext",
+        "priv",
+        "private",
+        "sk",
+        "ikm",
+        "prk",
+        "store",
+    }
+)
+
+_TOKEN_SPLIT = re.compile(r"[_\W]+")
+
+
+def _match(module: str, prefixes: Iterable[str]) -> bool:
+    return any(module == p or module.startswith(p + ".") for p in prefixes)
+
+
+def classify_module(module: str) -> Trust:
+    """Classify a dotted module name into the trust lattice."""
+    if _match(module, TRUSTED_PREFIXES):
+        return Trust.TRUSTED
+    if _match(module, SHARED_PREFIXES) or _match(module, ("repro.sim",)):
+        return Trust.SHARED
+    return Trust.UNTRUSTED
+
+
+def is_trusted_module(module: str) -> bool:
+    return classify_module(module) is Trust.TRUSTED
+
+
+def has_secret_token(identifier: str) -> bool:
+    """True when a variable/attribute name looks secret-bearing."""
+    tokens = [t for t in _TOKEN_SPLIT.split(identifier.lower()) if t]
+    return any(t in _SECRET_TOKENS for t in tokens)

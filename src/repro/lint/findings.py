@@ -1,0 +1,62 @@
+"""Structured findings emitted by the ``repro.lint`` static analyzer.
+
+A finding is one rule violation at one source location.  Findings are
+plain data so the CLI can render them as text or JSON and the fixture
+tests can assert on exact rule ids and line numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Tuple
+
+__all__ = ["Severity", "Finding"]
+
+
+class Severity(IntEnum):
+    """Finding severity; ordering lets ``--fail-on`` threshold-compare."""
+
+    WARNING = 1
+    ERROR = 2
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(f"unknown severity {text!r}") from None
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation: id, location, message, severity."""
+
+    rule_id: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.severity} [{self.rule_id}] {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule_id,
+            "severity": str(self.severity),
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }

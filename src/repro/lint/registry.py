@@ -1,0 +1,90 @@
+"""Rule base class and the registry that makes new rules one-class cheap.
+
+A rule is a class with a unique ``rule_id``, a default ``severity`` and a
+``check(ctx)`` generator over :class:`~repro.lint.findings.Finding`.
+Decorate it with :func:`register` and it participates in every lint run,
+the ``--list-rules`` catalog and the README table -- no other wiring.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Type
+
+from repro.lint.classify import Trust
+from repro.lint.findings import Finding, Severity
+
+__all__ = ["LintContext", "Rule", "register", "all_rules", "rule_catalog"]
+
+
+@dataclass
+class LintContext:
+    """Everything a rule sees: one parsed module plus its classification."""
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+    trust: Trust
+
+
+class Rule:
+    """Base class for one lint rule (see module docstring)."""
+
+    rule_id: str = ""
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: LintContext, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at ``node``'s source location."""
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.rule_id:
+        raise ValueError(f"rule {cls.__name__} has no rule_id")
+    if cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id!r}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, ordered by id."""
+    _load_rule_modules()
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def rule_catalog() -> List[dict]:
+    """Catalog rows for ``--list-rules`` and docs."""
+    return [
+        {
+            "id": rule.rule_id,
+            "name": rule.name,
+            "severity": str(rule.severity),
+            "description": rule.description,
+        }
+        for rule in all_rules()
+    ]
+
+
+def _load_rule_modules() -> None:
+    """Import the rule modules so their ``@register`` decorators run."""
+    from repro.lint import rules_boundary, rules_crypto, rules_determinism  # noqa: F401
+    from repro.lint import suppressions  # noqa: F401  (registers REX-S001)

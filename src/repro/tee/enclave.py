@@ -21,8 +21,9 @@ tracked in :class:`TrustedMemory` so the EPC model can detect overcommit.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Set
 
 from repro.obs import MetricsRegistry
 from repro.tee.attestation import (
@@ -53,21 +54,43 @@ def ecall(method: Callable) -> Callable:
     return method
 
 
-def _marshalled_size(value: Any) -> int:
-    """Approximate bytes crossing the boundary for one argument."""
+def _marshalled_size(value: Any, _seen: Optional[Set[int]] = None) -> int:
+    """Approximate bytes crossing the boundary for one argument.
+
+    Containers (list/tuple/set/dict) and dataclass payloads -- e.g. an
+    ``EpochStats`` leaving through ``report_stats``, or a config riding
+    in the ``ecall_init`` dict -- are measured recursively, so nested
+    structures of arrays charge their full marshalled volume instead of
+    a flat per-object default.  ``_seen`` guards against reference
+    cycles; each shared object is charged once, as a copying marshaller
+    would serialize it once per crossing.
+    """
     if isinstance(value, (bytes, bytearray, memoryview)):
         return len(value)
     if isinstance(value, str):
         return len(value.encode())
     if isinstance(value, (int, float, bool)) or value is None:
         return 8
-    if isinstance(value, (list, tuple)):
-        return sum(_marshalled_size(v) for v in value)
+    if _seen is None:
+        _seen = set()
+    if id(value) in _seen:
+        return 0
+    _seen.add(id(value))
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return sum(_marshalled_size(v, _seen) for v in value)
     if isinstance(value, dict):
-        return sum(_marshalled_size(k) + _marshalled_size(v) for k, v in value.items())
+        return sum(
+            _marshalled_size(k, _seen) + _marshalled_size(v, _seen)
+            for k, v in value.items()
+        )
     nbytes = getattr(value, "nbytes", None)
     if nbytes is not None:
         return int(nbytes)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return sum(
+            _marshalled_size(getattr(value, field.name), _seen)
+            for field in dataclasses.fields(value)
+        )
     return 64  # opaque object reference; negligible either way
 
 
@@ -237,10 +260,18 @@ class Enclave:
         """Host-side registration of an ocall proxy (e.g. network send)."""
         self._ocall_handlers[name] = handler
 
+    def _count_violation(self, kind: str) -> None:
+        """Record a refused boundary crossing in the shared registry."""
+        if self.metrics is not None:
+            self.metrics.counter(
+                "tee.enclave.violations", enclave=self.enclave_id, kind=kind
+            ).inc()
+
     def ecall(self, name: str, *args: Any, **kwargs: Any) -> Any:
         """Enter the enclave through a named entry point."""
         handler = self._ecalls.get(name)
         if handler is None:
+            self._count_violation("unknown_ecall")
             raise UnknownEcall(f"enclave {self.enclave_id!r} exports no ecall {name!r}")
         crossing_bytes = _marshalled_size(args) + _marshalled_size(kwargs)
         self.counters.ecalls += 1
@@ -262,9 +293,11 @@ class Enclave:
 
     def _dispatch_ocall(self, name: str, args: tuple, kwargs: dict) -> Any:
         if not self._in_enclave:
+            self._count_violation("ocall_outside_enclave")
             raise BoundaryViolation("ocall attempted from outside the enclave")
         handler = self._ocall_handlers.get(name)
         if handler is None:
+            self._count_violation("unknown_ocall")
             raise UnknownOcall(f"host registered no ocall {name!r}")
         crossing_bytes = _marshalled_size(args) + _marshalled_size(kwargs)
         self.counters.ocalls += 1

@@ -1,0 +1,95 @@
+"""Good/bad fixtures for the REX-C crypto-misuse rule family."""
+
+from tests.lint.fixtures import TRUSTED_MODULE, hits
+
+
+class TestC001DigestCompare:
+    def test_bad_eq_and_neq(self):
+        bad = """\
+        def verify(tag, expected_tag, h, sig):
+            if tag == expected_tag:
+                return True
+            return h.digest() != sig
+        """
+        assert hits(bad, "REX-C001", module=TRUSTED_MODULE) == [
+            ("REX-C001", 2),
+            ("REX-C001", 4),
+        ]
+
+    def test_good_compare_digest_and_lengths(self):
+        good = """\
+        import hmac
+        def verify(tag, expected):
+            if len(tag) != 16:
+                return False
+            return hmac.compare_digest(tag, expected)
+        """
+        assert hits(good, "REX-C001", module=TRUSTED_MODULE) == []
+
+
+class TestC002NonceDerivation:
+    def test_bad_constant_nonce(self):
+        bad = """\
+        def seal(cipher, msg):
+            return cipher.encrypt(b"\\x00" * 12, msg)
+        """
+        assert hits(bad, "REX-C002", module=TRUSTED_MODULE) == [("REX-C002", 2)]
+
+    def test_bad_random_nonce(self):
+        bad = """\
+        import os
+        def seal(cipher, msg):
+            return cipher.encrypt(os.urandom(12), msg)
+        """
+        assert hits(bad, "REX-C002", module=TRUSTED_MODULE) == [("REX-C002", 3)]
+
+    def test_good_counter_derived(self):
+        good = """\
+        def seal(self, cipher, msg):
+            seq = self._send_seq
+            return cipher.encrypt(self._nonce(seq, self.local_id), msg)
+        """
+        assert hits(good, "REX-C002", module=TRUSTED_MODULE) == []
+
+
+class TestC003HkdfReuse:
+    def test_bad_one_key_two_ciphers(self):
+        bad = """\
+        def channels(secret):
+            key = hkdf(secret, info=b"chan")
+            send = ChaCha20Poly1305(key)
+            recv = ChaCha20Poly1305(key)
+            return send, recv
+        """
+        assert hits(bad, "REX-C003", module=TRUSTED_MODULE) == [("REX-C003", 4)]
+
+    def test_good_one_key_per_direction(self):
+        good = """\
+        def channels(secret):
+            send_key = hkdf(secret, info=b"chan-send")
+            recv_key = hkdf(secret, info=b"chan-recv")
+            return ChaCha20Poly1305(send_key), ChaCha20Poly1305(recv_key)
+        """
+        assert hits(good, "REX-C003", module=TRUSTED_MODULE) == []
+
+
+class TestC004WeakHash:
+    def test_bad(self):
+        bad = """\
+        import hashlib
+        def fingerprint(data):
+            weak = hashlib.md5(data)
+            return hashlib.new("sha1", data), weak
+        """
+        assert hits(bad, "REX-C004", module=TRUSTED_MODULE) == [
+            ("REX-C004", 3),
+            ("REX-C004", 4),
+        ]
+
+    def test_good_sha256(self):
+        good = """\
+        import hashlib
+        def fingerprint(data):
+            return hashlib.sha256(data).digest()
+        """
+        assert hits(good, "REX-C004", module=TRUSTED_MODULE) == []

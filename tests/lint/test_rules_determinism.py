@@ -1,0 +1,109 @@
+"""Good/bad fixtures for the REX-D determinism rule family."""
+
+from tests.lint.fixtures import UNTRUSTED_MODULE, hits
+
+
+class TestD001WallClock:
+    def test_bad(self):
+        bad = """\
+        import time, datetime
+        def stamp():
+            start = time.time()
+            tick = time.perf_counter()
+            return datetime.datetime.now(), start, tick
+        """
+        assert hits(bad, "REX-D001") == [
+            ("REX-D001", 3),
+            ("REX-D001", 4),
+            ("REX-D001", 5),
+        ]
+
+    def test_good_simulated_clock(self):
+        good = """\
+        def stamp(timeline):
+            return timeline.now_s
+        """
+        assert hits(good, "REX-D001") == []
+
+
+class TestD002UnseededRandom:
+    def test_bad(self):
+        bad = """\
+        import random
+        import numpy as np
+        def draw():
+            random.shuffle(items)
+            np.random.seed(0)
+            rng = np.random.default_rng()
+            return rng
+        """
+        assert hits(bad, "REX-D002") == [
+            ("REX-D002", 4),
+            ("REX-D002", 5),
+            ("REX-D002", 6),
+        ]
+
+    def test_good_named_streams(self):
+        good = """\
+        import numpy as np
+        from repro._rng import child_rng
+        def draw(seed):
+            rng = child_rng(seed, "sampling")
+            fixed = np.random.default_rng(123)
+            return rng.integers(0, 10), fixed
+        """
+        assert hits(good, "REX-D002") == []
+
+    def test_exempt_in_rng_shim(self):
+        bad = "rng = np.random.default_rng()\n"
+        assert hits(bad, "REX-D002", module="repro._rng") == []
+
+
+class TestD003RealEntropy:
+    def test_bad(self):
+        bad = """\
+        import os, secrets
+        def keygen():
+            return os.urandom(32), secrets.token_bytes(16)
+        """
+        assert hits(bad, "REX-D003") == [("REX-D003", 3), ("REX-D003", 3)]
+
+    def test_good_seed_derived(self):
+        good = """\
+        import hashlib
+        def keygen(seed):
+            return hashlib.sha256(b"key:" + seed).digest()
+        """
+        assert hits(good, "REX-D003") == []
+
+    def test_exempt_in_rng_shim(self):
+        bad = "import os\nblob = os.urandom(8)\n"
+        assert hits(bad, "REX-D003", module="repro._rng") == []
+
+
+class TestD004SetIteration:
+    def test_bad(self):
+        bad = """\
+        def wire(xs, a, b):
+            for x in set(xs):
+                emit(x)
+            order = list({a, b})
+            return ",".join({a, b}), order
+        """
+        assert hits(bad, "REX-D004") == [
+            ("REX-D004", 2),
+            ("REX-D004", 4),
+            ("REX-D004", 5),
+        ]
+
+    def test_good_sorted_and_order_free(self):
+        good = """\
+        def wire(xs, a, b):
+            for x in sorted(set(xs)):
+                emit(x)
+            return len(set(xs)), (a in {a, b})
+        """
+        assert hits(good, "REX-D004") == []
+
+    def test_module_identity_is_untrusted_fixture(self):
+        assert UNTRUSTED_MODULE.startswith("repro.")

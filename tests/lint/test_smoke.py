@@ -1,0 +1,77 @@
+"""Tree-wide smoke tests: the shipped source must lint clean, and the
+CLI must fail when a violation is (re)introduced."""
+
+import json
+from pathlib import Path
+
+import repro
+from repro.cli import main
+from repro.lint import all_rules, lint_paths, module_name_for, rule_catalog
+
+SRC_REPRO = str(Path(repro.__file__).parent)
+
+
+class TestTreeIsClean:
+    def test_src_repro_has_zero_findings(self):
+        report = lint_paths([SRC_REPRO])
+        assert report.files_checked > 50
+        offenders = "\n".join(f.format() for f in report.sorted())
+        assert report.errors == 0, offenders
+        assert report.warnings == 0, offenders
+
+
+class TestRegistry:
+    def test_at_least_eight_distinct_rules(self):
+        ids = [rule.rule_id for rule in all_rules()]
+        assert len(ids) == len(set(ids))
+        assert len([i for i in ids if i != "REX-S001"]) >= 8
+
+    def test_catalog_rows_are_complete(self):
+        for row in rule_catalog():
+            assert row["id"] and row["name"] and row["description"]
+            assert row["severity"] in ("error", "warning")
+
+
+class TestModuleNames:
+    def test_in_tree_path(self):
+        assert module_name_for("src/repro/tee/enclave.py") == "repro.tee.enclave"
+
+    def test_package_init(self):
+        assert module_name_for("src/repro/core/__init__.py") == "repro.core"
+
+    def test_unanchored_path(self):
+        assert module_name_for("/tmp/scratch.py") == "scratch"
+
+
+class TestCli:
+    def test_lint_clean_tree_exits_zero(self, capsys):
+        assert main(["lint", SRC_REPRO]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_lint_json_document(self, capsys, tmp_path):
+        out_file = tmp_path / "lint.json"
+        assert main(["lint", SRC_REPRO, "--format", "json",
+                     "--output", str(out_file)]) == 0
+        doc = json.loads(out_file.read_text())
+        assert doc["summary"]["errors"] == 0
+        assert doc["summary"]["files"] > 50
+        assert doc["findings"] == []
+
+    def test_reintroduced_violation_fails(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nstart = time.time()\n")
+        assert main(["lint", str(bad)]) == 1
+        assert "REX-D001" in capsys.readouterr().out
+
+    def test_warning_needs_lower_threshold(self, capsys, tmp_path):
+        warn = tmp_path / "warn.py"
+        warn.write_text("x = 1  # repro-lint: disable=REX-C004\n")
+        assert main(["lint", str(warn)]) == 0  # default --fail-on error
+        assert main(["lint", str(warn), "--fail-on", "warning"]) == 1
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REX-B001", "REX-C001", "REX-D001", "REX-S001"):
+            assert rule_id in out

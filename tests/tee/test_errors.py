@@ -1,0 +1,125 @@
+"""Boundary-violation error paths and their observability trail.
+
+The enclave must refuse every crossing the paper's threat model forbids
+-- host code reaching a method that was never exported as an ecall,
+trusted code invoking an ocall the host never registered, and ocalls
+issued from outside trusted execution -- and each refusal must leave a
+count in the metrics registry so a fleet run can audit how often the
+boundary was probed.
+"""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.tee import (
+    AttestationService,
+    BoundaryViolation,
+    Platform,
+    TrustedApp,
+    UnknownEcall,
+    UnknownOcall,
+    ecall,
+)
+from repro.tee.errors import EnclaveError, TeeError
+
+VIOLATIONS = "tee.enclave.violations"
+
+
+class ProbeApp(TrustedApp):
+    @ecall
+    def ping(self):
+        return "pong"
+
+    @ecall
+    def leak(self):
+        return self.ctx.ocall("exfiltrate", b"secret")
+
+    def internal(self):  # pragma: no cover - must stay unreachable
+        return "trusted-only"
+
+
+@pytest.fixture()
+def metrics():
+    return MetricsRegistry()
+
+
+@pytest.fixture()
+def enclave(metrics):
+    platform = Platform("machine-A", AttestationService(), metrics=metrics)
+    return platform.create_enclave(ProbeApp, "probe-1")
+
+
+class TestUnknownEcall:
+    def test_missing_name_raises(self, enclave):
+        with pytest.raises(UnknownEcall):
+            enclave.ecall("no_such_entry")
+
+    def test_undecorated_method_raises(self, enclave):
+        with pytest.raises(UnknownEcall):
+            enclave.ecall("internal")
+
+    def test_violations_counted(self, enclave, metrics):
+        for _ in range(2):
+            with pytest.raises(UnknownEcall):
+                enclave.ecall("internal")
+        assert (
+            metrics.value(VIOLATIONS, enclave="probe-1", kind="unknown_ecall") == 2
+        )
+
+    def test_error_is_enclave_error(self):
+        assert issubclass(UnknownEcall, EnclaveError)
+        assert issubclass(EnclaveError, TeeError)
+
+
+class TestUnknownOcall:
+    def test_unregistered_ocall_raises(self, enclave):
+        with pytest.raises(UnknownOcall):
+            enclave.ecall("leak")
+
+    def test_violations_counted(self, enclave, metrics):
+        with pytest.raises(UnknownOcall):
+            enclave.ecall("leak")
+        assert (
+            metrics.value(VIOLATIONS, enclave="probe-1", kind="unknown_ocall") == 1
+        )
+
+    def test_registered_ocall_leaves_counter_untouched(self, enclave, metrics):
+        enclave.register_ocall("exfiltrate", lambda data: len(data))
+        assert enclave.ecall("leak") == 6
+        assert metrics.value(VIOLATIONS, enclave="probe-1", kind="unknown_ocall") == 0
+
+
+class TestOcallOutsideEnclave:
+    def test_host_dispatch_raises(self, enclave):
+        enclave.register_ocall("exfiltrate", lambda data: data)
+        with pytest.raises(BoundaryViolation):
+            enclave._dispatch_ocall("exfiltrate", (b"x",), {})
+
+    def test_violations_counted(self, enclave, metrics):
+        enclave.register_ocall("exfiltrate", lambda data: data)
+        with pytest.raises(BoundaryViolation):
+            enclave._dispatch_ocall("exfiltrate", (b"x",), {})
+        assert (
+            metrics.value(
+                VIOLATIONS, enclave="probe-1", kind="ocall_outside_enclave"
+            )
+            == 1
+        )
+
+
+class TestCountingIsOptional:
+    def test_no_registry_still_raises(self):
+        platform = Platform("machine-B", AttestationService())
+        enclave = platform.create_enclave(ProbeApp, "probe-2")
+        with pytest.raises(UnknownEcall):
+            enclave.ecall("internal")
+        with pytest.raises(UnknownOcall):
+            enclave.ecall("leak")
+
+    def test_kinds_are_separate_series(self, enclave, metrics):
+        with pytest.raises(UnknownEcall):
+            enclave.ecall("internal")
+        with pytest.raises(UnknownOcall):
+            enclave.ecall("leak")
+        assert metrics.value(VIOLATIONS, enclave="probe-1", kind="unknown_ecall") == 1
+        assert metrics.value(VIOLATIONS, enclave="probe-1", kind="unknown_ocall") == 1

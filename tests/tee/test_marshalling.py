@@ -1,0 +1,91 @@
+"""Pinned marshalled-size accounting for boundary crossings.
+
+``_marshalled_size`` feeds the SGX transition cost model, so its byte
+charges must be stable and must recurse into the payload shapes the
+protocol actually sends: the ``ecall_init`` config dict, lists of
+ciphertext shares, and the ``EpochStats`` dataclass leaving through the
+``report_stats`` ocall.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.stats import EpochStats
+from repro.tee.enclave import _marshalled_size
+
+
+class TestScalars:
+    def test_bytes_charge_length(self):
+        assert _marshalled_size(b"abcd") == 4
+        assert _marshalled_size(bytearray(3)) == 3
+        assert _marshalled_size(memoryview(b"12345")) == 5
+
+    def test_str_charges_utf8_length(self):
+        assert _marshalled_size("abc") == 3
+        assert _marshalled_size("héllo") == 6
+
+    def test_numbers_and_none_charge_one_word(self):
+        assert _marshalled_size(7) == 8
+        assert _marshalled_size(2.5) == 8
+        assert _marshalled_size(True) == 8
+        assert _marshalled_size(None) == 8
+
+    def test_array_charges_nbytes(self):
+        assert _marshalled_size(np.zeros(10, dtype=np.float64)) == 80
+        assert _marshalled_size(np.zeros((3, 2), dtype=np.float32)) == 24
+
+    def test_opaque_object_charges_default(self):
+        assert _marshalled_size(object()) == 64
+
+
+class TestContainers:
+    def test_flat_sequences_sum_elements(self):
+        assert _marshalled_size([b"ab", 1]) == 10
+        assert _marshalled_size((1, 2.0)) == 16
+        assert _marshalled_size({1, 2, 3}) == 24
+        assert _marshalled_size(frozenset({b"abcd"})) == 4
+
+    def test_dict_charges_keys_and_values(self):
+        assert _marshalled_size({"k": b"abc"}) == 4
+
+    def test_nested_payload_pins_exact_size(self):
+        # "rows"(4) + [b"1234"(4) + (1, 2)(16)] + "n"(1) + 7(8) = 33
+        payload = {"rows": [b"1234", (1, 2)], "n": 7}
+        assert _marshalled_size(payload) == 33
+
+    def test_list_of_arrays_recurses(self):
+        shares = [np.zeros(4, dtype=np.float64), np.zeros(4, dtype=np.float64)]
+        assert _marshalled_size(shares) == 64
+        assert _marshalled_size({"shares": shares}) == 6 + 64
+
+
+class TestDataclasses:
+    def test_local_dataclass_sums_fields(self):
+        @dataclass
+        class Packet:
+            blob: bytes
+            seq: int
+
+        assert _marshalled_size(Packet(blob=b"12345678", seq=3)) == 16
+
+    def test_epoch_stats_pins_all_scalar_fields(self):
+        # 21 scalar fields x 8 bytes each
+        assert _marshalled_size(EpochStats(node_id=0, epoch=1)) == 168
+
+    def test_dataclass_type_is_opaque(self):
+        assert _marshalled_size(EpochStats) == 64
+
+
+class TestSharing:
+    def test_cycle_terminates_and_charges_once(self):
+        loop = [b"abcd"]
+        loop.append(loop)
+        assert _marshalled_size(loop) == 4
+
+    def test_shared_object_charged_once(self):
+        inner = [b"xxxx"]
+        assert _marshalled_size([inner, inner]) == 4
+
+    def test_distinct_equal_objects_each_charged(self):
+        assert _marshalled_size([[b"xxxx"], [b"xxxx"]]) == 8
