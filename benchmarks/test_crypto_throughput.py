@@ -1,0 +1,154 @@
+"""Crypto throughput microbenchmark -- writes ``BENCH_crypto.json``.
+
+Not a paper figure: this file tracks the performance trajectory of the
+from-scratch RFC 8439 stack that every ``CryptoMode.REAL`` experiment
+pays for.  It measures MB/s per primitive across message sizes, locates
+the scalar/vector dispatch crossover (see :mod:`repro.tee.crypto.tuning`),
+and times a secure vs accounted :class:`~repro.core.cluster.RexCluster`
+run to show what the cipher costs end to end.
+
+The JSON artifact is uploaded by the ``crypto-bench`` CI job, which fails
+if sealed AEAD throughput at the largest size drops below a pinned floor
+(``REPRO_BENCH_SEAL_FLOOR_MBPS`` overrides it for slower hardware).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from benchmarks.conftest import emit
+from repro.analysis.report import format_table
+from repro.core import CryptoMode, Dissemination, RexCluster, RexConfig, SharingScheme
+from repro.data.movielens import MovieLensSpec, generate_movielens
+from repro.data.partition import partition_users_across_nodes
+from repro.ml.mf import MfHyperParams
+from repro.net.topology import Topology
+from repro.tee.crypto.aead import ChaCha20Poly1305
+from repro.tee.crypto.chacha20 import chacha20_encrypt
+from repro.tee.crypto.fastchacha import chacha20_xor
+from repro.tee.crypto.poly1305 import poly1305_mac
+from repro.tee.crypto.tuning import measure_crossover
+
+OUTPUT = "BENCH_crypto.json"
+
+#: Sweep sizes (bytes) for the vectorized primitives and the full AEAD.
+SIZES = [1024, 16384, 262144, 1048576]
+#: The unrolled scalar path is ~0.5 MB/s by design (it exists for small
+#: messages); sweeping it at MB scale would dominate the whole benchmark.
+SCALAR_SIZES = [1024, 4096, 16384, 65536]
+
+#: Sealed AEAD throughput floor at the largest sweep size, in MB/s.  The
+#: reference container measures ~100; the floor leaves 5x headroom for
+#: noisy shared CI runners.  Raise it as the stack gets faster.
+SEAL_FLOOR_MBPS = float(os.environ.get("REPRO_BENCH_SEAL_FLOOR_MBPS", "20"))
+
+KEY = bytes(range(32))
+NONCE = bytes(12)
+
+
+def _throughput(fn, payload: bytes) -> float:
+    """Best-of-N MB/s for ``fn(payload)`` (N adapted to payload size)."""
+    reps = max(3, (1 << 21) // max(1, len(payload)))
+    best = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn(payload)
+        dt = time.perf_counter() - t0
+        best = dt if best is None else min(best, dt)
+    return len(payload) / best / 1e6
+
+
+def _sweep(fn, sizes) -> dict:
+    out = {}
+    for size in sizes:
+        payload = bytes(i % 256 for i in range(size))
+        out[str(size)] = round(_throughput(fn, payload), 2)
+    return out
+
+
+def _cluster_smoke() -> dict:
+    """Secure vs accounted wall-clock on an 8-node model-sharing run."""
+    spec = MovieLensSpec(name="tiny", n_ratings=1600, n_items=120, n_users=40, last_updated=2020)
+    split = generate_movielens(spec, seed=11).split(0.7, seed=3)
+    train = partition_users_across_nodes(split.train, 8, seed=2)
+    test = partition_users_across_nodes(split.test, 8, seed=2)
+    topo = Topology.fully_connected(8)
+    results = {}
+    for label, mode in (("secure", CryptoMode.REAL), ("accounted", CryptoMode.ACCOUNTED)):
+        config = RexConfig(
+            scheme=SharingScheme.MODEL,
+            dissemination=Dissemination.DPSGD,
+            epochs=3,
+            crypto_mode=mode,
+            mf=MfHyperParams(k=8, batch_size=16, batches_per_epoch=2),
+        )
+        t0 = time.perf_counter()
+        run = RexCluster(topo, config, secure=True).run(
+            train, test, global_mean=split.train.global_mean()
+        )
+        results[label] = {
+            "wall_s": round(time.perf_counter() - t0, 3),
+            "network_bytes": run.total_network_bytes,
+            "network_messages": run.total_network_messages,
+        }
+    # The ACCOUNTED channel is size-faithful: the cipher must not change
+    # a single wire byte count, only the wall-clock.
+    assert results["secure"]["network_bytes"] == results["accounted"]["network_bytes"]
+    assert results["secure"]["network_messages"] == results["accounted"]["network_messages"]
+    results["crypto_overhead_s"] = round(
+        results["secure"]["wall_s"] - results["accounted"]["wall_s"], 3
+    )
+    return results
+
+
+def test_crypto_throughput():
+    cipher = ChaCha20Poly1305(KEY)
+    sweeps = {
+        "chacha20_scalar": _sweep(lambda p: chacha20_encrypt(KEY, 1, NONCE, p), SCALAR_SIZES),
+        "chacha20_vector": _sweep(lambda p: chacha20_xor(KEY, 1, NONCE, p), SIZES),
+        "poly1305": _sweep(lambda p: poly1305_mac(KEY, p), SIZES),
+        "aead_seal": _sweep(lambda p: cipher.encrypt(NONCE, p), SIZES),
+        "aead_open": {},
+    }
+    for size in SIZES:
+        wire = cipher.encrypt(NONCE, bytes(i % 256 for i in range(size)))
+        sweeps["aead_open"][str(size)] = round(
+            _throughput(lambda _p, _w=wire: cipher.decrypt(NONCE, _w), b"\x00" * size), 2
+        )
+
+    crossover = measure_crossover(time.perf_counter)
+    cluster = _cluster_smoke()
+
+    doc = {
+        "unit": "MB/s",
+        "sizes_bytes": SIZES,
+        "primitives": sweeps,
+        "dispatch_crossover_bytes": crossover["threshold"],
+        "cluster_smoke": cluster,
+        "seal_floor_mbps": SEAL_FLOOR_MBPS,
+    }
+    with open(OUTPUT, "w") as fh:
+        json.dump(doc, fh, indent=2)
+
+    rows = []
+    for name, sweep in sweeps.items():
+        for size, mbps in sweep.items():
+            rows.append([name, size, f"{mbps:.1f}"])
+    rows.append(["dispatch crossover", str(crossover["threshold"]), "bytes"])
+    rows.append(["cluster secure", "-", f"{cluster['secure']['wall_s']:.3f} s"])
+    rows.append(["cluster accounted", "-", f"{cluster['accounted']['wall_s']:.3f} s"])
+    emit(
+        format_table(
+            ["primitive", "message bytes", "MB/s"],
+            rows,
+            title=f"Crypto throughput (artifact: {OUTPUT})",
+        )
+    )
+
+    sealed_at_max = sweeps["aead_seal"][str(max(SIZES))]
+    assert sealed_at_max >= SEAL_FLOOR_MBPS, (
+        f"sealed throughput regressed: {sealed_at_max:.1f} MB/s at "
+        f"{max(SIZES)} bytes is below the {SEAL_FLOOR_MBPS} MB/s floor"
+    )

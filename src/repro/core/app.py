@@ -328,13 +328,16 @@ class RexEnclaveApp(TrustedApp):
 
         header_full = PayloadHeader(self.node_id, self.epoch, self.degree, content_kind)
         header_empty = PayloadHeader(self.node_id, self.epoch, self.degree, CONTENT_EMPTY)
+        # Both payload variants are loop-invariant: a DPSGD broadcast packs
+        # the (potentially large) full payload once, not once per neighbor.
+        packed_full = pack_payload(header_full, content)
+        packed_empty = pack_payload(header_empty, b"")  # RMW barrier: header only
         for neighbor in self.neighbors:
             if chosen is None or neighbor == chosen:
-                plaintext = pack_payload(header_full, content)
+                plaintext = packed_full
                 stats.shared_messages += 1
             else:
-                # RMW barrier message: header only, no content.
-                plaintext = pack_payload(header_empty, b"")
+                plaintext = packed_empty
                 stats.shared_empty_messages += 1
             channel = self.channels[neighbor]
             sealed_before = channel.sealed_bytes

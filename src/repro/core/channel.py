@@ -113,7 +113,10 @@ class SecureChannel(ChannelAccounting):
         (seq,) = struct.unpack_from("<Q", wire, 0)
         if seq <= self._highest_received:
             raise ReplayError(f"sequence {seq} already seen on this channel")
-        plaintext = self._cipher.decrypt(self._nonce(seq, self.peer_id), wire[8:], aad)
+        # Zero-copy handoff: the AEAD consumes ciphertext and tag as views
+        # of the framed buffer, so opening never duplicates the payload.
+        sealed = memoryview(wire)[8:]
+        plaintext = self._cipher.decrypt(self._nonce(seq, self.peer_id), sealed, aad)
         self._highest_received = seq
         self._record_open(len(wire))
         return plaintext

@@ -6,18 +6,34 @@ message -- raw rating triplets or serialized models -- crosses the
 untrusted host and network only as AEAD ciphertext.  The associated data
 binds each message to its (sender, receiver, sequence) header so the
 untrusted relay cannot splice messages between channels undetected.
+
+Fast-path structure (the seal/open pipeline is fused end to end):
+
+- **One keystream generation per seal/open.**  The Poly1305 one-time key
+  is keystream block 0 and the payload keystream starts at block 1, so
+  both are requested as a single batch (:func:`~repro.tee.crypto.
+  fastchacha.chacha20_seal_xor`) instead of one call for the key block
+  and another for the payload.
+- **Zero-copy MAC transcript.**  The Poly1305 input ``aad || pad || ct ||
+  pad || lengths`` is never materialized: :func:`~repro.tee.crypto.
+  poly1305.poly1305_aead_tag` walks the segments (memoryviews of the wire
+  buffer) directly, eliminating the pad/join copies per message.
+- **Measured dispatch.**  The scalar/vector crossover comes from
+  :mod:`~repro.tee.crypto.tuning` (a measured threshold, overridable per
+  deployment) instead of a hard-coded constant.
+
+All wire bytes are bit-identical to the unfused construction; tests pin
+both the RFC vectors and scalar/vector/fused equivalence.
 """
 
 from __future__ import annotations
 
-import struct
+import hmac
 
-from repro.tee.crypto.chacha20 import chacha20_block, chacha20_encrypt
-from repro.tee.crypto.fastchacha import chacha20_xor
-from repro.tee.crypto.poly1305 import poly1305_mac, poly1305_verify
-
-#: Payloads at or above this size use the vectorized NumPy keystream.
-_FAST_PATH_THRESHOLD = 256
+from repro.tee.crypto.chacha20 import chacha20_blocks
+from repro.tee.crypto.fastchacha import chacha20_seal_xor
+from repro.tee.crypto.poly1305 import poly1305_aead_tag
+from repro.tee.crypto.tuning import fast_path_threshold
 
 __all__ = ["AeadError", "ChaCha20Poly1305", "TAG_LENGTH", "NONCE_LENGTH", "KEY_LENGTH"]
 
@@ -35,26 +51,10 @@ class AeadError(Exception):
     """
 
 
-def _pad16(data: bytes) -> bytes:
-    """Zero-pad ``data`` to a 16-byte boundary for the MAC transcript."""
-    remainder = len(data) % 16
-    if remainder == 0:
-        return b""
-    return b"\x00" * (16 - remainder)
-
-
-def _mac_data(aad: bytes, ciphertext: bytes) -> bytes:
-    """Assemble the Poly1305 input: aad || pad || ct || pad || lengths."""
-    return b"".join(
-        (
-            aad,
-            _pad16(aad),
-            ciphertext,
-            _pad16(ciphertext),
-            struct.pack("<Q", len(aad)),
-            struct.pack("<Q", len(ciphertext)),
-        )
-    )
+def _xor_bytes(data, keystream: bytes) -> bytes:
+    n = len(data)
+    x = int.from_bytes(data, "little") ^ int.from_bytes(keystream[:n], "little")
+    return x.to_bytes(n, "little")
 
 
 class ChaCha20Poly1305:
@@ -73,31 +73,43 @@ class ChaCha20Poly1305:
             raise ValueError(f"key must be {KEY_LENGTH} bytes, got {len(key)}")
         self._key = key
 
-    def _poly_key(self, nonce: bytes) -> bytes:
-        """Derive the one-time Poly1305 key from block counter zero."""
-        return chacha20_block(self._key, 0, nonce)[:32]
+    def _seal_pipeline(self, nonce: bytes, data) -> tuple:
+        """One fused keystream batch: returns ``(poly_key, data XOR ks)``.
 
-    def encrypt(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+        Block 0 keys Poly1305, blocks 1.. carry the payload (RFC 8439
+        sections 2.6/2.8) -- generated together on either path.
+        """
+        if len(data) >= fast_path_threshold():
+            return chacha20_seal_xor(self._key, nonce, data)
+        stream = chacha20_blocks(self._key, 0, nonce, 1 + (len(data) + 63) // 64)
+        return stream[:32], _xor_bytes(data, stream[64:])
+
+    def encrypt(self, nonce: bytes, plaintext, aad=b"") -> bytes:
         """Encrypt and authenticate; returns ciphertext || 16-byte tag."""
         if len(nonce) != NONCE_LENGTH:
             raise ValueError(f"nonce must be {NONCE_LENGTH} bytes")
-        ciphertext = self._cipher(nonce, plaintext)
-        tag = poly1305_mac(self._poly_key(nonce), _mac_data(aad, ciphertext))
-        return ciphertext + tag
+        poly_key, ciphertext = self._seal_pipeline(nonce, plaintext)
+        return ciphertext + poly1305_aead_tag(poly_key, aad, ciphertext)
 
-    def _cipher(self, nonce: bytes, data: bytes) -> bytes:
-        """Keystream-XOR ``data``, picking the scalar or vectorized path."""
-        if len(data) >= _FAST_PATH_THRESHOLD:
-            return chacha20_xor(self._key, 1, nonce, data)
-        return chacha20_encrypt(self._key, 1, nonce, data)
+    def decrypt(self, nonce: bytes, data, aad=b"") -> bytes:
+        """Verify the tag and decrypt; raises :class:`AeadError` on failure.
 
-    def decrypt(self, nonce: bytes, data: bytes, aad: bytes = b"") -> bytes:
-        """Verify the tag and decrypt; raises :class:`AeadError` on failure."""
+        ``data`` may be any bytes-like object (e.g. a memoryview of the
+        framed wire buffer); the ciphertext and tag are consumed as
+        zero-copy views.
+        """
         if len(nonce) != NONCE_LENGTH:
             raise ValueError(f"nonce must be {NONCE_LENGTH} bytes")
         if len(data) < TAG_LENGTH:
             raise AeadError("ciphertext shorter than the authentication tag")
-        ciphertext, tag = data[:-TAG_LENGTH], data[-TAG_LENGTH:]
-        if not poly1305_verify(self._poly_key(nonce), _mac_data(aad, ciphertext), tag):
+        view = memoryview(data)
+        ciphertext, tag = view[:-TAG_LENGTH], view[-TAG_LENGTH:]
+        # The open pipeline mirrors seal: the same single keystream batch
+        # yields the Poly1305 key (block 0) and the payload keystream
+        # (blocks 1..).  The candidate plaintext never leaves this frame
+        # unless the tag verifies.
+        poly_key, plaintext = self._seal_pipeline(nonce, ciphertext)
+        expected = poly1305_aead_tag(poly_key, aad, ciphertext)
+        if not hmac.compare_digest(expected, tag):
             raise AeadError("authentication tag mismatch")
-        return self._cipher(nonce, ciphertext)
+        return plaintext

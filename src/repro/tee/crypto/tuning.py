@@ -1,0 +1,115 @@
+"""Measured scalar/vector dispatch tuning for the AEAD fast path.
+
+The AEAD layer picks between the scalar ChaCha20 path (cheap per call,
+slow per byte) and the vectorized NumPy path (fixed dispatch overhead,
+fast per byte).  The crossover used to be a hard-coded constant; it is
+now a *measured* threshold:
+
+- :func:`measure_crossover` times both paths across a size sweep and
+  returns the smallest size where the vectorized path wins.  The clock is
+  **injected by the caller** (the crypto throughput benchmark passes
+  ``time.perf_counter``) so this module performs no wall-clock reads of
+  its own -- simulated-time determinism (lint rule REX-D001) is preserved
+  and the measurement stays testable with a fake clock.
+- The shipped default below is the measured median from the committed
+  ``BENCH_crypto.json`` run; deployments on different hardware can pin
+  their own measurement via the ``REPRO_AEAD_FAST_THRESHOLD`` environment
+  variable without code changes.
+
+Thresholds only steer dispatch: both paths are bit-identical by
+construction and by test, so a mistuned threshold can cost speed, never
+correctness.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional, Sequence
+
+from repro.tee.crypto.chacha20 import chacha20_encrypt
+from repro.tee.crypto.fastchacha import chacha20_xor
+
+__all__ = [
+    "DEFAULT_FAST_PATH_THRESHOLD",
+    "fast_path_threshold",
+    "measure_crossover",
+    "set_fast_path_threshold",
+]
+
+#: Measured on the reference container (see EXPERIMENTS.md, "Crypto
+#: throughput"): the unrolled scalar loop beats NumPy dispatch overhead
+#: up to roughly five keystream blocks (~270 us of fixed vector setup vs
+#: ~0.7 us/byte scalar cost; the sweep crosses at 384 bytes).
+DEFAULT_FAST_PATH_THRESHOLD = 384
+
+_ENV_VAR = "REPRO_AEAD_FAST_THRESHOLD"
+
+_override: Optional[int] = None
+
+
+def fast_path_threshold() -> int:
+    """Payload size in bytes at which the AEAD switches to the vector path.
+
+    Resolution order: :func:`set_fast_path_threshold` override, then the
+    ``REPRO_AEAD_FAST_THRESHOLD`` environment variable, then the shipped
+    measured default.
+    """
+    if _override is not None:
+        return _override
+    env = os.environ.get(_ENV_VAR)
+    if env:
+        try:
+            return max(0, int(env))
+        except ValueError:
+            pass
+    return DEFAULT_FAST_PATH_THRESHOLD
+
+
+def set_fast_path_threshold(value: Optional[int]) -> None:
+    """Pin (or with ``None`` clear) the in-process threshold override."""
+    global _override
+    _override = None if value is None else max(0, int(value))
+
+
+_SWEEP_SIZES = (32, 64, 128, 192, 256, 384, 512, 768, 1024)
+
+
+def measure_crossover(
+    clock: Callable[[], float],
+    *,
+    sizes: Sequence[int] = _SWEEP_SIZES,
+    repeats: int = 50,
+) -> dict:
+    """Time scalar vs vectorized keystream-XOR and locate the crossover.
+
+    ``clock`` is a monotonic-seconds callable supplied by the caller (the
+    benchmark injects ``time.perf_counter``); this module never reads the
+    wall clock itself.  Returns ``{"threshold": int, "samples": {size:
+    {"scalar_s": float, "vector_s": float}}}`` where ``threshold`` is the
+    smallest swept size from which the vectorized path stays ahead (the
+    largest swept size + 1 if it never wins).
+    """
+    key = bytes(range(32))
+    nonce = bytes(12)
+    samples = {}
+    for size in sorted(sizes):
+        payload = bytes(size)
+        scalar_best = vector_best = None
+        for _ in range(max(1, repeats)):
+            t0 = clock()
+            chacha20_encrypt(key, 1, nonce, payload)
+            t1 = clock()
+            chacha20_xor(key, 1, nonce, payload)
+            t2 = clock()
+            scalar_s, vector_s = t1 - t0, t2 - t1
+            scalar_best = scalar_s if scalar_best is None else min(scalar_best, scalar_s)
+            vector_best = vector_s if vector_best is None else min(vector_best, vector_s)
+        samples[size] = {"scalar_s": scalar_best, "vector_s": vector_best}
+    threshold = max(samples) + 1
+    # Smallest size from which the vector path never falls behind again.
+    for size in sorted(samples, reverse=True):
+        if samples[size]["vector_s"] <= samples[size]["scalar_s"]:
+            threshold = size
+        else:
+            break
+    return {"threshold": threshold, "samples": samples}
