@@ -13,6 +13,9 @@ Commands
 ``metrics``
     Run one fully-observed distributed experiment (enclaves, EPC,
     per-edge traffic) and emit a machine-readable ``metrics.json``.
+``chaos``
+    Run a named fault plan against a tolerance-mode cluster and print
+    the fault/recovery report (optionally as a JSON artifact).
 ``lint``
     Run the enclave-boundary / crypto-misuse / determinism static
     analyzer over source trees (text or JSON findings).
@@ -105,6 +108,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="also write a chrome://tracing / Perfetto JSON trace",
+    )
+
+    chaos = sub.add_parser(
+        "chaos", help="seeded fault-injection run -> fault/recovery report"
+    )
+    chaos.add_argument(
+        "--plan",
+        default="mixed-churn",
+        help="named fault plan to run (see --list-plans)",
+    )
+    chaos.add_argument(
+        "--list-plans", action="store_true", help="print the plan catalog and exit"
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--nodes", type=int, default=8)
+    chaos.add_argument("--epochs", type=int, default=5)
+    chaos.add_argument("--scheme", choices=sorted(_SCHEMES), default="rex")
+    chaos.add_argument(
+        "--dissemination", choices=sorted(_DISSEMINATION), default="d-psgd"
+    )
+    chaos.add_argument(
+        "--baseline",
+        action="store_true",
+        help="also run the identical scenario fault-free and report the RMSE delta",
+    )
+    chaos.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the chaos report document (JSON) here",
     )
 
     lint = sub.add_parser(
@@ -249,11 +282,50 @@ def cmd_metrics(args) -> int:
             ]],
         )
     )
+    metrics = run.obs.metrics
+    print(
+        f"faults: {metrics.total('faults.injected'):.0f} injected, "
+        f"{metrics.total('faults.recovered'):.0f} recovered, "
+        f"{metrics.total('faults.lost'):.0f} lost"
+    )
     print(f"wrote {args.output} "
           f"({len(doc['spans'])} spans, {len(doc['counters'])} counters, "
           f"{len(doc['edges'])} edges)")
     if args.chrome_trace:
         print(f"wrote {args.chrome_trace}")
+    return 0
+
+
+def cmd_chaos(args) -> int:
+    import json
+
+    from repro.faults import NAMED_PLANS, run_chaos
+
+    if args.list_plans:
+        rows = [
+            [plan.name, plan.description] for _, plan in sorted(NAMED_PLANS.items())
+        ]
+        print(format_table(["plan", "scenario"], rows, title="fault-plan catalog"))
+        return 0
+    if args.plan not in NAMED_PLANS:
+        print(f"unknown fault plan {args.plan!r}; choose from {sorted(NAMED_PLANS)}")
+        return 2
+    report = run_chaos(
+        args.plan,
+        seed=args.seed,
+        nodes=args.nodes,
+        epochs=args.epochs,
+        scheme=_SCHEMES[args.scheme],
+        dissemination=_DISSEMINATION[args.dissemination],
+        baseline=args.baseline,
+    )
+    for line in report.format_lines():
+        print(line)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.output} ({len(report.events)} fault events)")
     return 0
 
 
@@ -300,6 +372,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": cmd_compare,
         "datasets": cmd_datasets,
         "metrics": cmd_metrics,
+        "chaos": cmd_chaos,
         "lint": cmd_lint,
         "info": cmd_info,
     }

@@ -23,6 +23,7 @@ from repro.core.cluster import ClusterRun, RexCluster
 from repro.core.config import (
     CryptoMode,
     Dissemination,
+    FaultToleranceConfig,
     ModelKind,
     RexConfig,
     SharingScheme,
@@ -35,6 +36,7 @@ __all__ = [
     "CryptoMode",
     "Dissemination",
     "EpochStats",
+    "FaultToleranceConfig",
     "ModelKind",
     "ReplayError",
     "RexCluster",

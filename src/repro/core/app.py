@@ -19,12 +19,13 @@ only inside this class (and the peers' equally attested instances).
 
 from __future__ import annotations
 
+import struct
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro._rng import child_rng, stream_seed
-from repro.core.channel import AccountedChannel, PlaintextChannel, SecureChannel
+from repro.core.channel import AccountedChannel, PlaintextChannel, ReplayError, SecureChannel
 from repro.core.config import CryptoMode, Dissemination, ModelKind, RexConfig, SharingScheme
 from repro.core.messages import (
     CONTENT_DNN_MODEL,
@@ -49,9 +50,11 @@ from repro.net.serialization import (
     encode_mf_state,
     encode_triplets,
 )
+from repro.net.serialization import CodecError
 from repro.tee.attestation import MutualAttestation, Quote
+from repro.tee.crypto.aead import AeadError
 from repro.tee.enclave import TrustedApp, ecall
-from repro.tee.errors import ChannelNotEstablished
+from repro.tee.errors import ChannelNotEstablished, MeasurementMismatch, QuoteVerificationError
 
 __all__ = ["RexEnclaveApp"]
 
@@ -76,6 +79,10 @@ class RexEnclaveApp(TrustedApp):
         self.degree = len(self.neighbors)
         self.config: RexConfig = args["config"]
         self.secure: bool = bool(args["secure"])
+        #: Incarnation counter: 0 for the first boot, bumped per restart.
+        self.boot: int = int(args.get("boot", 0))
+        #: Epoch to rejoin the gossip at after a crash (0 on first boot).
+        self.resume_epoch: int = int(args.get("resume_epoch", 0))
         n_users = int(args["n_users"])
         n_items = int(args["n_items"])
 
@@ -98,18 +105,41 @@ class RexEnclaveApp(TrustedApp):
             self.model = DnnRecommender(n_users, n_items, self.config.dnn, seed=self.config.seed)
         self.model.mark_seen(train)
 
+        # A restarted incarnation derives a *fresh* X25519 key (the old one
+        # died with the enclave): neighbors detect the changed public key in
+        # the new quote and re-attest instead of treating it as a duplicate.
+        if self.boot:
+            dh_seed = stream_seed(self.config.seed, "dh", self.node_id, "boot", self.boot)
+        else:
+            dh_seed = stream_seed(self.config.seed, "dh", self.node_id)
         self.attestor = MutualAttestation(
             f"rex-{self.node_id}",
             self.ctx.measurement,
             self.ctx.attestation_service(),
-            key_seed=stream_seed(self.config.seed, "dh", self.node_id).to_bytes(8, "little"),
+            key_seed=dh_seed.to_bytes(8, "little"),
         )
         self.channels: Dict[int, object] = {}
-        self.epoch = 0
+        self.epoch = self.resume_epoch
         self._epoch_zero_done = False
         self._inbox: Dict[int, Dict[int, Tuple[PayloadHeader, bytes]]] = {}
         self._current_stats: Optional[EpochStats] = None
         self._counter_mark = None
+        # -- churn-tolerance state (inert while faults are disabled) ----- #
+        #: X25519 public key seen in each neighbor's latest quote.
+        self._peer_pubkeys: Dict[int, bytes] = {}
+        #: Neighbors currently believed dead (host-notified or suspected).
+        self._down_peers: set = set()
+        #: Epoch from which each neighbor's shares are expected; ``None``
+        #: means unknown (peer restarted / not yet heard from) and the
+        #: barrier must not block on it.  A restarted node knows nothing
+        #: about where its neighbors are, so it starts all-``None``.
+        self._active_from: Dict[int, Optional[int]] = {
+            n: (0 if self.boot == 0 else None) for n in self.neighbors
+        }
+        #: Consecutive barrier timeouts each neighbor has missed.
+        self._miss_counts: Dict[int, int] = {}
+        #: Ticks spent blocked at the current barrier.
+        self._stall_ticks = 0
 
         self._account_memory(staging=0)
 
@@ -146,10 +176,75 @@ class RexEnclaveApp(TrustedApp):
         return {
             "node_id": self.node_id,
             "epoch": self.epoch,
+            "boot": self.boot,
             "attested_peers": len(self.channels),
+            "down_peers": sorted(self._down_peers),
             "store_items": len(self.store),
             "test_rmse": self.model.evaluate_rmse(self.test_data),
         }
+
+    @ecall
+    def ecall_peer_down(self, peer: int) -> None:
+        """Host notification that ``peer``'s process died (crash fault)."""
+        if not self.config.faults.enabled:
+            return
+        peer = int(peer)
+        self._down_peers.add(peer)
+        self._miss_counts.pop(peer, None)
+        self._active_from[peer] = None
+        if self._epoch_zero_done:
+            self._try_advance()  # the barrier may now be satisfiable
+        else:
+            self._maybe_start()
+
+    @ecall
+    def ecall_tick(self) -> int:
+        """Advance the patience clock; force partial progress on timeout.
+
+        Called once per idle-capable pump iteration when fault tolerance is
+        enabled.  After :attr:`FaultToleranceConfig.barrier_patience_ticks`
+        ticks stuck at the same barrier the node advances with whatever
+        subset of shares it holds (graceful degradation), and neighbors
+        missing from ``suspect_after_timeouts`` consecutive forced rounds
+        are treated as dead until heard from again.  Returns the number of
+        rounds forced (0 or 1).
+        """
+        if not self.config.faults.enabled:
+            return 0
+        if self._epoch_zero_done and self.epoch >= self.config.epochs:
+            return 0
+        self._stall_ticks += 1
+        if self._stall_ticks < self.config.faults.barrier_patience_ticks:
+            return 0
+        self._stall_ticks = 0
+        self._count_fault("faults.barrier_timeouts")
+        if not self._epoch_zero_done:
+            # Stuck in attestation: a neighbor is refusing (or losing) the
+            # handshake.  Suspect it so epoch 0 can start without it.
+            for n in self.neighbors:
+                if n not in self.channels and n not in self._down_peers:
+                    self._note_miss(n)
+            self._maybe_start()
+            return 1 if self._epoch_zero_done else 0
+        for n in self._required_peers(self.epoch - 1):
+            if n not in self._inbox.get(self.epoch - 1, {}):
+                self._note_miss(n)
+        received = self._inbox.pop(self.epoch - 1, {})
+        self._run_round(received or None)
+        self._try_advance()
+        return 1
+
+    def _note_miss(self, peer: int) -> None:
+        self._miss_counts[peer] = self._miss_counts.get(peer, 0) + 1
+        if self._miss_counts[peer] >= self.config.faults.suspect_after_timeouts:
+            self._down_peers.add(peer)
+            self._active_from[peer] = None
+            self._count_fault("faults.suspected", peer=peer)
+
+    def _count_fault(self, name: str, **labels: object) -> None:
+        metrics = self.ctx.metrics
+        if metrics is not None:
+            metrics.counter(name, node=self.node_id, **labels).inc()
 
     # ------------------------------------------------------------------ #
     # Attestation (Section III-A)
@@ -161,16 +256,51 @@ class RexEnclaveApp(TrustedApp):
     def _handle_quote(self, src: int, blob: bytes) -> None:
         if not self.secure:
             raise ChannelNotEstablished("native build received an attestation quote")
-        if src in self.channels:
+        tolerant = self.config.faults.enabled
+        if src in self.channels and not tolerant:
             return  # duplicate quote; channel already established
-        quote = Quote.from_bytes(bytes(blob))
-        key = self.attestor.process_peer_quote(f"rex-{src}", quote)
-        if self.config.crypto_mode is CryptoMode.REAL:
-            channel = SecureChannel(key, self.node_id, src)
-        else:
-            channel = AccountedChannel(key, self.node_id, src)
-        self.channels[src] = self._bind_channel(channel)
+        try:
+            quote = Quote.from_bytes(bytes(blob))
+            pubkey = bytes(quote.user_data[:32])
+            if src in self.channels and pubkey == self._peer_pubkeys.get(src):
+                return  # duplicate (possibly replayed) quote; same incarnation
+            # A *different* public key from an established peer means it
+            # restarted: its enclave died with the old DH key, so re-attest
+            # and replace the channel below.
+            reattest = src in self.channels
+            key = self.attestor.process_peer_quote(f"rex-{src}", quote)
+        except (
+            ValueError,
+            struct.error,
+            UnicodeDecodeError,
+            QuoteVerificationError,
+            MeasurementMismatch,
+        ):
+            if tolerant:
+                # A mangled (or forged) quote is survivable: reject it and
+                # let the ARQ schedule redeliver the genuine original.
+                self._count_fault("faults.recovered", kind="quote")
+                return
+            raise
+        self.channels[src] = self._bind_channel(self._make_channel(key, src))
+        self._peer_pubkeys[src] = pubkey
+        if tolerant:
+            self._down_peers.discard(src)
+            self._miss_counts.pop(src, None)
+        if reattest:
+            # Fresh pairwise key, sequence numbers reset on both sides.
+            # Answer with our own quote: the one we sent at bootstrap
+            # predates the peer's reboot and is lost to it.
+            self._active_from[src] = None
+            self._count_fault("faults.reattestations", peer=src)
+            self.ctx.ocall("send_message", src, KIND_QUOTE, self._make_quote().to_bytes())
+            return
         self._maybe_start()
+
+    def _make_channel(self, key: bytes, src: int):
+        if self.config.crypto_mode is CryptoMode.REAL:
+            return SecureChannel(key, self.node_id, src)
+        return AccountedChannel(key, self.node_id, src)
 
     def _bind_channel(self, channel):
         """Attach the run's registry so channel bytes land in obs."""
@@ -180,38 +310,108 @@ class RexEnclaveApp(TrustedApp):
         return channel
 
     def _maybe_start(self) -> None:
-        """Run epoch 0 once every neighbor channel exists."""
+        """Run epoch 0 once every (live) neighbor channel exists."""
         if self._epoch_zero_done:
             return
-        if len(self.channels) == len(self.neighbors):
+        if self.config.faults.enabled:
+            ready = all(
+                n in self.channels for n in self.neighbors if n not in self._down_peers
+            )
+        else:
+            ready = len(self.channels) == len(self.neighbors)
+        if ready:
             self._epoch_zero_done = True
             self._run_round(received=None)
+            if self.config.faults.enabled:
+                self._try_advance()  # a restarted node may have buffered shares
 
     # ------------------------------------------------------------------ #
     # Protocol payloads (Algorithm 2 lines 12-21)
     # ------------------------------------------------------------------ #
     def _handle_payload(self, src: int, blob: bytes) -> None:
+        tolerant = self.config.faults.enabled
         channel = self.channels.get(src)
         if channel is None:
+            if tolerant:
+                # A frame raced past re-attestation (or from a refused peer):
+                # survivable -- the retransmission schedule or the next epoch
+                # covers the gap.
+                self._count_fault("faults.recovered", kind="unattested")
+                return
             raise ChannelNotEstablished(f"payload from unattested peer {src}")
-        plaintext = channel.open(bytes(blob))
-        header, content = unpack_payload(plaintext)
+        try:
+            plaintext = channel.open(bytes(blob))
+        except ReplayError:
+            if tolerant:
+                self._count_fault("faults.recovered", kind="replay")
+                return
+            raise
+        except (AeadError, ChannelNotEstablished):
+            if tolerant:
+                self._count_fault("faults.recovered", kind="corrupt")
+                return
+            raise
+        try:
+            header, content = unpack_payload(plaintext)
+        except (ValueError, CodecError):
+            if tolerant:
+                self._count_fault("faults.recovered", kind="codec")
+                return
+            raise
+        if tolerant:
+            # Hearing from a peer clears any suspicion of its death.
+            self._down_peers.discard(src)
+            self._miss_counts.pop(src, None)
+            if self._active_from.get(src) is None:
+                self._active_from[src] = header.epoch
+            if header.epoch < self.epoch - 1:
+                self._count_fault("faults.recovered", kind="stale")
+                return
         self._inbox.setdefault(header.epoch, {})[src] = (header, content)
         self._try_advance()
 
+    def _required_peers(self, epoch_idx: int) -> list:
+        """Neighbors the barrier for ``epoch_idx`` must wait for."""
+        required = []
+        for n in self.neighbors:
+            if n in self._down_peers:
+                continue
+            active = self._active_from.get(n, 0)
+            if active is None or active > epoch_idx:
+                continue
+            required.append(n)
+        return required
+
     def _try_advance(self) -> None:
-        """ready_to_train check: one message from every neighbor."""
+        """ready_to_train check: one message from every (live) neighbor."""
         if not self._epoch_zero_done:
             return
+        if not self.config.faults.enabled:
+            while True:
+                waiting_on = self._inbox.get(self.epoch - 1, {})
+                if len(waiting_on) < len(self.neighbors):
+                    return
+                received = self._inbox.pop(self.epoch - 1)
+                self._run_round(received)
         while True:
-            waiting_on = self._inbox.get(self.epoch - 1, {})
-            if len(waiting_on) < len(self.neighbors):
+            if self.epoch >= self.config.epochs:
                 return
-            received = self._inbox.pop(self.epoch - 1)
-            self._run_round(received)
+            waiting_on = self._inbox.get(self.epoch - 1, {})
+            required = self._required_peers(self.epoch - 1)
+            if required:
+                if not all(n in waiting_on for n in required):
+                    return
+            elif not waiting_on:
+                # Nothing to merge and nobody to wait for: let the patience
+                # clock (ecall_tick) pace solo progress instead of racing
+                # through the remaining epochs in one call.
+                return
+            received = self._inbox.pop(self.epoch - 1, {})
+            self._run_round(received or None)
 
     def _run_round(self, received: Optional[Dict[int, Tuple[PayloadHeader, bytes]]]) -> None:
         """One merge / train / share / test round."""
+        self._stall_ticks = 0
         stats = EpochStats(node_id=self.node_id, epoch=self.epoch)
         staging_peak = 0
 
@@ -249,9 +449,16 @@ class RexEnclaveApp(TrustedApp):
         for _src, (header, content) in sorted(received.items()):
             if header.content == CONTENT_EMPTY:
                 continue
-            if header.content != CONTENT_TRIPLETS:
-                raise ValueError("data-sharing run received a model payload")
-            alien = decode_triplets(content)
+            try:
+                if header.content != CONTENT_TRIPLETS:
+                    raise ValueError("data-sharing run received a model payload")
+                alien = decode_triplets(content)
+            except (ValueError, CodecError):
+                if self.config.faults.enabled:
+                    # One undecodable share must not abort the whole merge.
+                    self._count_fault("faults.recovered", kind="merge")
+                    continue
+                raise
             staging = max(staging, alien.nbytes + len(content))
             stats.dedup_checked_items += len(alien)
             if self.config.dedup:
@@ -275,9 +482,15 @@ class RexEnclaveApp(TrustedApp):
         for src, (header, content) in sorted(received.items()):
             if header.content == CONTENT_EMPTY:
                 continue
-            if header.content != expected:
-                raise ValueError("model-sharing run received a mismatched payload")
-            state = decode(content)
+            try:
+                if header.content != expected:
+                    raise ValueError("model-sharing run received a mismatched payload")
+                state = decode(content)
+            except (ValueError, CodecError):
+                if self.config.faults.enabled:
+                    self._count_fault("faults.recovered", kind="merge")
+                    continue
+                raise
             staging += len(content) + _state_nbytes(state)
             incoming.append((src, header, state))
 
@@ -304,7 +517,15 @@ class RexEnclaveApp(TrustedApp):
     # Share (Section III-C / III-E)
     # ------------------------------------------------------------------ #
     def _share(self, stats: EpochStats) -> None:
-        if not self.neighbors:
+        if self.config.faults.enabled:
+            # Dead neighbors get nothing: sealing to a lost incarnation
+            # would desynchronize sequence numbers for no delivery.
+            targets = [
+                n for n in self.neighbors if n not in self._down_peers and n in self.channels
+            ]
+        else:
+            targets = list(self.neighbors)
+        if not targets:
             return
         if self.config.scheme is SharingScheme.DATA:
             sample = self.store.sample(self.config.share_points, self.local_rng)
@@ -322,7 +543,7 @@ class RexEnclaveApp(TrustedApp):
         stats.serialized_bytes += len(content)
 
         if self.config.dissemination is Dissemination.RMW:
-            chosen = int(self.neighbors[self.local_rng.integers(0, len(self.neighbors))])
+            chosen = int(targets[self.local_rng.integers(0, len(targets))])
         else:
             chosen = None  # broadcast
 
@@ -332,7 +553,7 @@ class RexEnclaveApp(TrustedApp):
         # the (potentially large) full payload once, not once per neighbor.
         packed_full = pack_payload(header_full, content)
         packed_empty = pack_payload(header_empty, b"")  # RMW barrier: header only
-        for neighbor in self.neighbors:
+        for neighbor in targets:
             if chosen is None or neighbor == chosen:
                 plaintext = packed_full
                 stats.shared_messages += 1

@@ -10,6 +10,15 @@ Wire format of one sealed message: ``u64 seq | ciphertext+tag`` where the
 nonce is ``le64(seq) || le32(sender_id)`` -- unique per direction because
 each direction has its own monotonically increasing counter.
 
+Replay rejection is strictly monotonic: a frame whose sequence number does
+not exceed the highest frame accepted so far raises :class:`ReplayError`,
+so duplicated *and* reordered frames are both refused -- the transport
+below guarantees per-pair ordering on a healthy LAN, and under injected
+faults the enclave treats the error as a recoverable per-neighbor event
+(the retransmission schedule or the next epoch covers the gap).  The
+high-water mark only advances after the AEAD authenticates the frame, so a
+forged sequence number cannot poison the channel state.
+
 :class:`AccountedChannel` is the fidelity knob for huge experiments: the
 same 28-byte framing overhead and the same interface, but the payload is
 passed through unencrypted so the simulator does not burn hours of real
@@ -97,6 +106,19 @@ class SecureChannel(ChannelAccounting):
     def _nonce(seq: int, sender_id: int) -> bytes:
         return struct.pack("<QI", seq, sender_id)
 
+    # -- monotonic anti-replay check ----------------------------------- #
+    def _replay_check(self, seq: int) -> None:
+        """Reject a duplicated or reordered sequence number (pre-decrypt)."""
+        if seq <= self._highest_received:
+            raise ReplayError(
+                f"sequence {seq} does not advance past {self._highest_received} "
+                f"(replayed or reordered frame)"
+            )
+
+    def _replay_accept(self, seq: int) -> None:
+        """Advance the high-water mark; call only after authentication."""
+        self._highest_received = seq
+
     def seal(self, plaintext: bytes, aad: bytes = b"") -> bytes:
         """Encrypt ``plaintext``; returns the framed wire bytes."""
         seq = self._send_seq
@@ -111,13 +133,12 @@ class SecureChannel(ChannelAccounting):
         if len(wire) < 8 + TAG_LENGTH:
             raise ChannelNotEstablished("sealed message too short")
         (seq,) = struct.unpack_from("<Q", wire, 0)
-        if seq <= self._highest_received:
-            raise ReplayError(f"sequence {seq} already seen on this channel")
+        self._replay_check(seq)
         # Zero-copy handoff: the AEAD consumes ciphertext and tag as views
         # of the framed buffer, so opening never duplicates the payload.
         sealed = memoryview(wire)[8:]
         plaintext = self._cipher.decrypt(self._nonce(seq, self.peer_id), sealed, aad)
-        self._highest_received = seq
+        self._replay_accept(seq)
         self._record_open(len(wire))
         return plaintext
 
@@ -142,9 +163,8 @@ class AccountedChannel(SecureChannel):
         if len(wire) < 8 + TAG_LENGTH:
             raise ChannelNotEstablished("sealed message too short")
         (seq,) = struct.unpack_from("<Q", wire, 0)
-        if seq <= self._highest_received:
-            raise ReplayError(f"sequence {seq} already seen on this channel")
-        self._highest_received = seq
+        self._replay_check(seq)
+        self._replay_accept(seq)
         self._record_open(len(wire))
         return wire[8:-TAG_LENGTH]
 

@@ -11,7 +11,7 @@ event-driven, exactly like the real system, with the epoch barrier
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.core.config import RexConfig
 from repro.core.host import RexHost
@@ -88,6 +88,11 @@ class RexCluster:
             platform = self.platforms[node // nodes_per_machine]
             endpoint = self.network.endpoint(node)
             self.hosts.append(RexHost(node, platform, endpoint))
+        #: Nodes whose process is currently dead (see :meth:`crash_node`).
+        self.crashed: Set[int] = set()
+        #: Optional chaos hook called once per tolerant pump iteration with
+        #: this cluster; :mod:`repro.faults` installs its controller here.
+        self.controller: Optional[object] = None
 
     def bootstrap(
         self,
@@ -108,6 +113,57 @@ class RexCluster:
                 global_mean=global_mean,
             )
 
+    # ------------------------------------------------------------------ #
+    # Churn surface (driven by the chaos controller)
+    # ------------------------------------------------------------------ #
+    def crash_node(self, node_id: int) -> None:
+        """Kill ``node_id``: its traffic drops, its enclave state is lost,
+        and live neighbors are notified so they stop waiting for it."""
+        node_id = int(node_id)
+        self.crashed.add(node_id)
+        self.network.set_down(node_id)
+        if self.config.faults.enabled:
+            for host in self.hosts:
+                if host.node_id != node_id and host.node_id not in self.crashed:
+                    host.notify_peer_down(node_id)
+
+    def restart_node(
+        self,
+        node_id: int,
+        train: RatingsDataset,
+        test: RatingsDataset,
+        *,
+        global_mean: float = 3.5,
+        resume_epoch: Optional[int] = None,
+    ) -> None:
+        """Bring a crashed node back with a fresh enclave incarnation.
+
+        ``resume_epoch`` defaults to the most advanced live node's epoch,
+        so the reborn node rejoins the current round instead of replaying
+        history its neighbors would reject as stale.
+        """
+        node_id = int(node_id)
+        if resume_epoch is None:
+            live_epochs = [
+                host.epoch_stats[-1].epoch + 1
+                for host in self.hosts
+                if host.node_id != node_id and host.epoch_stats
+            ]
+            resume_epoch = max(live_epochs, default=0)
+        resume_epoch = min(int(resume_epoch), self.config.epochs - 1)
+        self.network.set_up(node_id)
+        self.crashed.discard(node_id)
+        host = self.hosts[node_id]
+        host.restart(
+            self.config,
+            train,
+            test,
+            self.topology.neighbors(node_id),
+            secure=self.secure,
+            global_mean=global_mean,
+            resume_epoch=resume_epoch,
+        )
+
     def run(
         self,
         train_shards: Sequence[RatingsDataset],
@@ -119,6 +175,23 @@ class RexCluster:
         self.bootstrap(train_shards, test_shards, global_mean=global_mean)
 
         target = self.config.epochs
+        if self.config.faults.enabled:
+            self._pump_tolerant(target)
+        else:
+            self._pump_strict(target)
+        return ClusterRun(
+            config=self.config,
+            secure=self.secure,
+            topology=self.topology,
+            node_stats={host.node_id: host.epoch_stats for host in self.hosts},
+            total_network_bytes=self.network.meter.total_bytes,
+            total_network_messages=self.network.meter.total_messages,
+            attestation_messages=self.network.meter.kind_messages.get("quote", 0),
+            epc=self.epc,
+        )
+
+    def _pump_strict(self, target: int) -> None:
+        """The seed's healthy-LAN loop: any quiescent gap is a fatal stall."""
         while True:
             moved = 0
             done = True
@@ -136,13 +209,61 @@ class RexCluster:
                     f"protocol stalled: no messages in flight but nodes {laggards} "
                     f"have not reached epoch {target}"
                 )
-        return ClusterRun(
-            config=self.config,
-            secure=self.secure,
-            topology=self.topology,
-            node_stats={host.node_id: host.epoch_stats for host in self.hosts},
-            total_network_bytes=self.network.meter.total_bytes,
-            total_network_messages=self.network.meter.total_messages,
-            attestation_messages=self.network.meter.kind_messages.get("quote", 0),
-            epc=self.epc,
-        )
+
+    def _node_done(self, host: RexHost, target: int) -> bool:
+        # A restarted node skips the epochs it was dead for, so count by the
+        # last *reported* epoch, not by how many reports accumulated.
+        return bool(host.epoch_stats) and host.epoch_stats[-1].epoch + 1 >= target
+
+    def _pump_tolerant(self, target: int) -> None:
+        """Pump + tick loop that survives faults and diagnoses real stalls.
+
+        Each iteration relays inbound messages, advances simulated network
+        time (releasing delayed frames and scheduled retries) and the
+        enclaves' barrier-patience clocks, and lets the chaos controller
+        inject crashes/restarts.  Permanently crashed nodes are exempt from
+        the completion condition; a window with no activity of any kind for
+        longer than the patience budget is a genuine stall and raises with
+        a diagnosis instead of spinning.
+        """
+        patience = self.config.faults.barrier_patience_ticks
+        idle = 0
+        while True:
+            if self.controller is not None:
+                self.controller.on_tick(self)
+            moved = 0
+            done = True
+            for host in self.hosts:
+                if host.node_id in self.crashed:
+                    continue
+                moved += host.pump()
+                if not self._node_done(host, target):
+                    done = False
+            if done and self.controller is not None:
+                # A scheduled restart is known future work: keep pumping so
+                # the reborn node gets to rejoin and finish, instead of
+                # declaring victory while a churn event is still pending.
+                done = not getattr(self.controller, "pending_work", lambda: False)()
+            if done:
+                break
+            flushed = self.network.tick()
+            forced = 0
+            for host in self.hosts:
+                if host.node_id not in self.crashed and not self._node_done(host, target):
+                    forced += host.tick()
+            if moved or flushed or forced or self.network.in_flight:
+                idle = 0
+                continue
+            idle += 1
+            if idle > patience + 8:
+                laggards = {
+                    host.node_id: (host.epoch_stats[-1].epoch + 1 if host.epoch_stats else 0)
+                    for host in self.hosts
+                    if host.node_id not in self.crashed and not self._node_done(host, target)
+                }
+                raise RuntimeError(
+                    f"chaos run stalled: no deliveries, retries or forced rounds for "
+                    f"{idle} ticks; laggards (node: epoch) {laggards}, crashed nodes "
+                    f"{sorted(self.crashed)}, target epoch {target}, "
+                    f"{self.network.in_flight} frames in flight"
+                )

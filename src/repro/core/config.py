@@ -21,6 +21,7 @@ __all__ = [
     "Dissemination",
     "ModelKind",
     "CryptoMode",
+    "FaultToleranceConfig",
     "RexConfig",
 ]
 
@@ -70,6 +71,40 @@ class CryptoMode(enum.Enum):
 
 
 @dataclass(frozen=True)
+class FaultToleranceConfig:
+    """Churn-tolerance knobs for the distributed runtime.
+
+    Disabled by default: the paper's protocol assumes a healthy LAN and
+    treats any loss as a fatal stall, and all seed experiments must stay
+    byte-identical.  Chaos runs (:mod:`repro.faults`) enable tolerance,
+    which changes the failure semantics in four ways:
+
+    - corrupt / replayed / stale frames are *rejected but survivable*:
+      the enclave counts them (``faults.recovered``) instead of letting
+      the error abort the epoch;
+    - the transport retries dropped frames (``max_attempts`` total sends,
+      exponential backoff of ``backoff_base_ticks``);
+    - a node blocked at the epoch barrier for ``barrier_patience_ticks``
+      network ticks advances with the messages it has (graceful
+      degradation, counted as ``faults.barrier_timeouts``);
+    - a neighbor missing from ``suspect_after_timeouts`` consecutive
+      barrier timeouts is treated as dead until it is heard from again.
+    """
+
+    enabled: bool = False
+    barrier_patience_ticks: int = 48
+    suspect_after_timeouts: int = 2
+    max_attempts: int = 4
+    backoff_base_ticks: int = 1
+
+    def __post_init__(self) -> None:
+        if self.barrier_patience_ticks < 1:
+            raise ValueError("barrier patience must be at least one tick")
+        if self.suspect_after_timeouts < 1:
+            raise ValueError("suspicion threshold must be at least one timeout")
+
+
+@dataclass(frozen=True)
 class RexConfig:
     """Full configuration of one decentralized training run."""
 
@@ -89,6 +124,9 @@ class RexConfig:
 
     #: Distributed runtime only: real or accounted AEAD.
     crypto_mode: CryptoMode = CryptoMode.REAL
+
+    #: Distributed runtime only: churn-tolerance knobs (off by default).
+    faults: FaultToleranceConfig = field(default_factory=FaultToleranceConfig)
 
     #: Ablation: suppress duplicate raw data items on merge (Section
     #: III-E / IV-C).  Disabling lets resent points accumulate.

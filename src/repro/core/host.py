@@ -38,9 +38,13 @@ class RexHost:
         self.endpoint = endpoint
         self.enclave = platform.create_enclave(RexEnclaveApp, f"rex-node-{node_id}")
         self.epoch_stats: List[EpochStats] = []
+        #: Incarnation counter; bumped by :meth:`restart` after a crash.
+        self.boot = 0
         self._on_stats = on_stats
         self._counter_mark = self.enclave.counters.snapshot()
+        self._register_ocalls()
 
+    def _register_ocalls(self) -> None:
         self.enclave.register_ocall("send_message", self._ocall_send)
         self.enclave.register_ocall("get_quote", self.enclave.get_quote)
         self.enclave.register_ocall("report_stats", self._ocall_report_stats)
@@ -79,21 +83,59 @@ class RexHost:
         *,
         secure: bool,
         global_mean: float = 3.5,
+        resume_epoch: int = 0,
     ) -> None:
         """Read the shard, start the enclave, trigger ``ecall_init``."""
-        self.enclave.ecall(
-            "ecall_init",
-            {
-                "node_id": self.node_id,
-                "neighbors": tuple(int(n) for n in neighbors),
-                "config": config,
-                "train": encode_triplets(train),
-                "test": encode_triplets(test),
-                "n_users": train.n_users,
-                "n_items": train.n_items,
-                "global_mean": global_mean,
-                "secure": secure,
-            },
+        init_args = {
+            "node_id": self.node_id,
+            "neighbors": tuple(int(n) for n in neighbors),
+            "config": config,
+            "train": encode_triplets(train),
+            "test": encode_triplets(test),
+            "n_users": train.n_users,
+            "n_items": train.n_items,
+            "global_mean": global_mean,
+            "secure": secure,
+        }
+        # First-boot init args stay byte-identical to the seed runtime; the
+        # restart-only keys ride along only when they carry information.
+        if self.boot:
+            init_args["boot"] = self.boot
+            init_args["resume_epoch"] = int(resume_epoch)
+        self.enclave.ecall("ecall_init", init_args)
+
+    def restart(
+        self,
+        config: RexConfig,
+        train: RatingsDataset,
+        test: RatingsDataset,
+        neighbors,
+        *,
+        secure: bool,
+        global_mean: float = 3.5,
+        resume_epoch: int = 0,
+    ) -> None:
+        """Re-create the enclave after a crash and rejoin the gossip.
+
+        The old enclave's in-memory state (store growth, model, channel
+        keys) is lost, exactly like a process kill: the new incarnation
+        re-reads its local shard, derives a fresh DH key (so neighbors
+        re-attest) and resumes at ``resume_epoch``.
+        """
+        self.boot += 1
+        self.enclave = self.platform.create_enclave(
+            RexEnclaveApp, f"rex-node-{self.node_id}.boot{self.boot}"
+        )
+        self._counter_mark = self.enclave.counters.snapshot()
+        self._register_ocalls()
+        self.bootstrap(
+            config,
+            train,
+            test,
+            neighbors,
+            secure=secure,
+            global_mean=global_mean,
+            resume_epoch=resume_epoch,
         )
 
     def pump(self) -> int:
@@ -102,6 +144,14 @@ class RexHost:
         for message in messages:
             self.enclave.ecall("ecall_input", message.source, message.kind, message.payload)
         return len(messages)
+
+    def tick(self) -> int:
+        """Advance the enclave's barrier-patience clock (tolerance mode)."""
+        return int(self.enclave.ecall("ecall_tick"))
+
+    def notify_peer_down(self, peer: int) -> None:
+        """Tell the enclave a neighbor's process died (crash fault)."""
+        self.enclave.ecall("ecall_peer_down", int(peer))
 
     def status(self) -> Dict:
         return self.enclave.ecall("ecall_status")

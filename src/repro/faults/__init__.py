@@ -1,0 +1,30 @@
+"""Deterministic fault injection + chaos runner (host-side, untrusted).
+
+The paper assumes a healthy LAN and leaves fault tolerance as future
+work (Section III-D); this package supplies the hostile network.  A
+seeded :class:`FaultPlan` describes what goes wrong (loss, duplication,
+reordering, corruption, crashes, attestation refusal, stragglers), the
+:class:`FaultInjector` replays it deterministically against the
+transport, and :func:`run_chaos` drives a whole cluster through it in
+tolerance mode, producing a :class:`ChaosReport`.
+
+Everything here runs in the untrusted world: the injector manipulates
+only ciphertext and metadata on the wire, exactly like a real network
+adversary -- which is why the recovery story lives in the enclaves and
+the transport, not here.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import CrashEvent, FaultPlan, LinkFaults, NAMED_PLANS
+from repro.faults.runner import ChaosController, ChaosReport, run_chaos
+
+__all__ = [
+    "ChaosController",
+    "ChaosReport",
+    "CrashEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkFaults",
+    "NAMED_PLANS",
+    "run_chaos",
+]

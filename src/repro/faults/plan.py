@@ -1,0 +1,155 @@
+"""Declarative, seedable fault plans.
+
+A :class:`FaultPlan` is the complete description of one hostile-network
+scenario: per-link loss/duplication/reordering/corruption rates, node
+crash-and-restart events, attestation refusal, and straggler links.  It
+carries no randomness itself -- the :class:`~repro.faults.injector.
+FaultInjector` pairs a plan with an experiment seed, so every chaos run
+is exactly replayable from ``(seed, plan)``.
+
+Named plans (:data:`NAMED_PLANS`) cover the scenarios the chaos test
+suite and ``repro chaos`` exercise; ``mixed-churn`` is the acceptance
+scenario (10% loss + one crash/restart + one straggler).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.config import FaultToleranceConfig
+
+__all__ = ["LinkFaults", "CrashEvent", "FaultPlan", "NAMED_PLANS"]
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Per-transmission fault probabilities (applied independently).
+
+    Rates are evaluated with a single uniform draw per transmission
+    attempt, in the fixed order drop, corrupt, duplicate, delay; their
+    sum must therefore not exceed 1.
+    """
+
+    drop_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    delay_rate: float = 0.0
+    #: Upper bound (inclusive) on the random delay, in network ticks.
+    max_delay_ticks: int = 3
+
+    def __post_init__(self) -> None:
+        rates = (self.drop_rate, self.corrupt_rate, self.duplicate_rate, self.delay_rate)
+        if any(not 0.0 <= r <= 1.0 for r in rates):
+            raise ValueError("fault rates must be probabilities in [0, 1]")
+        if sum(rates) > 1.0:
+            raise ValueError("fault rates must sum to at most 1")
+        if self.max_delay_ticks < 1:
+            raise ValueError("max delay must be at least one tick")
+
+    @property
+    def any_active(self) -> bool:
+        return (self.drop_rate + self.corrupt_rate + self.duplicate_rate + self.delay_rate) > 0
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """Kill ``node`` once any live node completes ``at_epoch`` epochs.
+
+    ``restart_after_ticks`` schedules the reborn incarnation that many
+    network ticks after the kill; ``None`` means the node stays dead.
+    """
+
+    node: int
+    at_epoch: int
+    restart_after_ticks: Optional[int] = 8
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError("crash target must be a node id")
+        if self.at_epoch < 1:
+            raise ValueError("crash epoch must be at least 1 (epoch 0 is bootstrap)")
+        if self.restart_after_ticks is not None and self.restart_after_ticks < 1:
+            raise ValueError("restart delay must be at least one tick")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One named, fully-declarative chaos scenario."""
+
+    name: str
+    description: str = ""
+    link: LinkFaults = field(default_factory=LinkFaults)
+    crashes: Tuple[CrashEvent, ...] = ()
+    #: Nodes whose links (either direction) get fixed extra latency.
+    stragglers: Tuple[int, ...] = ()
+    straggler_delay_ticks: int = 3
+    #: Nodes whose attestation quotes are swallowed in both directions:
+    #: they can never establish channels and must be survived around.
+    refuse_attestation: Tuple[int, ...] = ()
+    #: Recovery knobs the runner installs alongside the plan.
+    barrier_patience_ticks: int = 12
+    suspect_after_timeouts: int = 2
+    max_attempts: int = 4
+    backoff_base_ticks: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a fault plan needs a name")
+        if self.straggler_delay_ticks < 1:
+            raise ValueError("straggler delay must be at least one tick")
+
+    def tolerance(self) -> FaultToleranceConfig:
+        """The runtime tolerance config this plan expects to run under."""
+        return FaultToleranceConfig(
+            enabled=True,
+            barrier_patience_ticks=self.barrier_patience_ticks,
+            suspect_after_timeouts=self.suspect_after_timeouts,
+            max_attempts=self.max_attempts,
+            backoff_base_ticks=self.backoff_base_ticks,
+        )
+
+
+#: The canonical scenario catalog for tests and ``repro chaos``.
+NAMED_PLANS: Dict[str, FaultPlan] = {
+    plan.name: plan
+    for plan in (
+        FaultPlan(
+            name="baseline",
+            description="no faults injected (tolerance machinery engaged but idle)",
+        ),
+        FaultPlan(
+            name="lossy",
+            description="10% of transmissions dropped; ARQ retries recover",
+            link=LinkFaults(drop_rate=0.10),
+        ),
+        FaultPlan(
+            name="dup-reorder",
+            description="duplicated and delayed frames; replay protection filters them",
+            link=LinkFaults(duplicate_rate=0.08, delay_rate=0.12, max_delay_ticks=4),
+        ),
+        FaultPlan(
+            name="corrupt",
+            description="bit-flipped frames; AEAD rejects, retransmission recovers",
+            link=LinkFaults(corrupt_rate=0.08),
+        ),
+        FaultPlan(
+            name="crash",
+            description="one node dies at epoch 2 and restarts (fresh key, re-attest)",
+            crashes=(CrashEvent(node=1, at_epoch=2, restart_after_ticks=8),),
+        ),
+        FaultPlan(
+            name="refuse-attest",
+            description="one node never completes attestation; peers proceed without it",
+            refuse_attestation=(2,),
+        ),
+        FaultPlan(
+            name="mixed-churn",
+            description="10% loss + one crash/restart + one straggler link",
+            link=LinkFaults(drop_rate=0.10),
+            crashes=(CrashEvent(node=1, at_epoch=2, restart_after_ticks=6),),
+            stragglers=(2,),
+            straggler_delay_ticks=3,
+        ),
+    )
+}

@@ -1,0 +1,287 @@
+"""Run a whole cluster experiment under a fault plan and report on it.
+
+``run_chaos`` is the one-call entry point behind ``repro chaos`` and the
+chaos test suite: it builds a synthetic-MovieLens deployment, arms the
+:class:`~repro.faults.injector.FaultInjector` and the crash/restart
+controller, runs the cluster in tolerance mode, and condenses what
+happened -- injected faults, recoveries, losses, re-attestations, final
+accuracy -- into a serializable :class:`ChaosReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.cluster import RexCluster
+from repro.core.config import CryptoMode, Dissemination, RexConfig, SharingScheme
+from repro.data.movielens import MovieLensSpec, generate_movielens
+from repro.data.partition import partition_users_across_nodes
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import CrashEvent, FaultPlan, NAMED_PLANS
+from repro.ml.mf import MfHyperParams
+from repro.net.topology import Topology
+from repro.obs import Observability
+
+__all__ = ["ChaosController", "ChaosReport", "run_chaos"]
+
+
+class ChaosController:
+    """Fires the plan's crash/restart events against a running cluster.
+
+    Installed as :attr:`RexCluster.controller`; the tolerant pump loop
+    calls :meth:`on_tick` once per iteration.  Crash timing is keyed to
+    protocol progress (any live node completing ``at_epoch`` epochs) and
+    restart timing to simulated network time, so the whole churn history
+    is as deterministic as the run itself.
+    """
+
+    def __init__(self, plan: FaultPlan, injector: FaultInjector, train_shards, test_shards,
+                 *, global_mean: float = 3.5):
+        self.plan = plan
+        self.injector = injector
+        self._train = list(train_shards)
+        self._test = list(test_shards)
+        self._global_mean = global_mean
+        self._pending: List[CrashEvent] = sorted(plan.crashes, key=lambda e: e.at_epoch)
+        self._restarts: List[Tuple[int, int]] = []  # (due_tick, node)
+
+    @staticmethod
+    def _max_live_epoch(cluster: RexCluster) -> int:
+        return max(
+            (
+                host.epoch_stats[-1].epoch + 1
+                for host in cluster.hosts
+                if host.epoch_stats and host.node_id not in cluster.crashed
+            ),
+            default=0,
+        )
+
+    def pending_work(self) -> bool:
+        """Unfired crash/restart events the pump loop must wait for."""
+        return bool(self._pending or self._restarts)
+
+    def on_tick(self, cluster: RexCluster) -> None:
+        now = cluster.network.now
+        progress = self._max_live_epoch(cluster)
+        for event in list(self._pending):
+            if event.node >= len(cluster.hosts) or event.at_epoch > cluster.config.epochs:
+                self._pending.remove(event)  # plan written for a larger/longer run
+                continue
+            if progress >= event.at_epoch and event.node not in cluster.crashed:
+                cluster.crash_node(event.node)
+                self.injector.note("crash", f"node={event.node} epoch={progress}")
+                if event.restart_after_ticks is not None:
+                    self._restarts.append((now + event.restart_after_ticks, event.node))
+                self._pending.remove(event)
+        for due, node in list(self._restarts):
+            if now >= due:
+                cluster.restart_node(
+                    node,
+                    self._train[node],
+                    self._test[node],
+                    global_mean=self._global_mean,
+                )
+                self.injector.note("restart", f"node={node}")
+                self._restarts.remove((due, node))
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos run produced, ready for JSON or a terminal."""
+
+    plan: str
+    seed: int
+    nodes: int
+    epochs: int
+    scheme: str
+    dissemination: str
+    schedule_digest: str
+    injected: Dict[str, int]
+    recovered: float
+    lost: float
+    retries: float
+    reattestations: float
+    barrier_timeouts: float
+    final_rmse: float
+    node_rmse: Dict[int, float]
+    node_epochs: Dict[int, int]
+    baseline_rmse: Optional[float] = None
+    events: List[str] = field(default_factory=list)
+
+    @property
+    def injected_total(self) -> int:
+        return sum(self.injected.values())
+
+    @property
+    def rmse_delta(self) -> Optional[float]:
+        if self.baseline_rmse is None:
+            return None
+        return self.final_rmse - self.baseline_rmse
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro.chaos/v1",
+            "plan": self.plan,
+            "seed": self.seed,
+            "nodes": self.nodes,
+            "epochs": self.epochs,
+            "scheme": self.scheme,
+            "dissemination": self.dissemination,
+            "schedule_digest": self.schedule_digest,
+            "injected": dict(sorted(self.injected.items())),
+            "injected_total": self.injected_total,
+            "recovered": self.recovered,
+            "lost": self.lost,
+            "retries": self.retries,
+            "reattestations": self.reattestations,
+            "barrier_timeouts": self.barrier_timeouts,
+            "final_rmse": self.final_rmse,
+            "baseline_rmse": self.baseline_rmse,
+            "rmse_delta": self.rmse_delta,
+            "node_rmse": {str(k): v for k, v in sorted(self.node_rmse.items())},
+            "node_epochs": {str(k): v for k, v in sorted(self.node_epochs.items())},
+            "events": list(self.events),
+        }
+
+    def format_lines(self) -> List[str]:
+        lines = [
+            f"chaos plan {self.plan!r} seed={self.seed} "
+            f"({self.nodes} nodes, {self.epochs} epochs, "
+            f"{self.dissemination.upper()}, {self.scheme.upper()})",
+            f"  schedule digest  {self.schedule_digest[:16]}…",
+            f"  faults injected  {self.injected_total} "
+            + (
+                "(" + ", ".join(f"{k}={v}" for k, v in sorted(self.injected.items())) + ")"
+                if self.injected
+                else ""
+            ),
+            f"  recovered/lost   {self.recovered:.0f} recovered, {self.lost:.0f} lost, "
+            f"{self.retries:.0f} retries",
+            f"  churn            {self.reattestations:.0f} re-attestations, "
+            f"{self.barrier_timeouts:.0f} barrier timeouts",
+            f"  final RMSE       {self.final_rmse:.4f}"
+            + (
+                f" (fault-free {self.baseline_rmse:.4f}, delta {self.rmse_delta:+.4f})"
+                if self.baseline_rmse is not None
+                else ""
+            ),
+        ]
+        return lines
+
+
+def _build_shards(users: int, items: int, ratings: int, nodes: int, data_seed: int):
+    spec = MovieLensSpec(
+        name=f"chaos-{users}u",
+        n_ratings=ratings,
+        n_items=items,
+        n_users=users,
+        last_updated=2020,
+    )
+    split = generate_movielens(spec, seed=data_seed).split(0.7, seed=1)
+    train = partition_users_across_nodes(split.train, nodes, seed=2)
+    test = partition_users_across_nodes(split.test, nodes, seed=2)
+    return split, list(train), list(test)
+
+
+def run_chaos(
+    plan: Union[str, FaultPlan],
+    *,
+    seed: int = 0,
+    nodes: int = 8,
+    epochs: int = 5,
+    scheme: SharingScheme = SharingScheme.DATA,
+    dissemination: Dissemination = Dissemination.DPSGD,
+    users: int = 40,
+    items: int = 120,
+    ratings: int = 1_600,
+    share_points: int = 60,
+    k: int = 8,
+    baseline: bool = False,
+    obs: Optional[Observability] = None,
+) -> ChaosReport:
+    """Run one seeded chaos experiment end to end; returns the report.
+
+    ``baseline=True`` additionally runs the identical scenario fault-free
+    (strict mode, no injector) and records its RMSE for comparison --
+    that pair is what the churn-tolerance acceptance test asserts on.
+    """
+    if isinstance(plan, str):
+        try:
+            plan = NAMED_PLANS[plan]
+        except KeyError:
+            raise ValueError(
+                f"unknown fault plan {plan!r}; choose from {sorted(NAMED_PLANS)}"
+            ) from None
+    if obs is None:
+        obs = Observability.create()
+
+    split, train, test = _build_shards(users, items, ratings, nodes, data_seed=42)
+    global_mean = split.train.global_mean()
+    topology = Topology.fully_connected(nodes)
+
+    config = RexConfig(
+        scheme=scheme,
+        dissemination=dissemination,
+        epochs=epochs,
+        share_points=share_points,
+        seed=seed,
+        crypto_mode=CryptoMode.REAL,  # corruption must fail *authentication*
+        mf=MfHyperParams(k=k),
+        faults=plan.tolerance(),
+    )
+    cluster = RexCluster(topology, config, secure=True, obs=obs)
+    injector = FaultInjector(plan, seed, metrics=obs.metrics).attach(cluster.network)
+    cluster.controller = ChaosController(
+        plan, injector, train, test, global_mean=global_mean
+    )
+    cluster.run(train, test, global_mean=global_mean)
+
+    node_rmse: Dict[int, float] = {}
+    node_epochs: Dict[int, int] = {}
+    for host in cluster.hosts:
+        status = host.status()
+        node_rmse[host.node_id] = float(status["test_rmse"])
+        node_epochs[host.node_id] = (
+            host.epoch_stats[-1].epoch + 1 if host.epoch_stats else 0
+        )
+    final_rmse = sum(node_rmse.values()) / max(1, len(node_rmse))
+
+    baseline_rmse: Optional[float] = None
+    if baseline:
+        plain_config = RexConfig(
+            scheme=scheme,
+            dissemination=dissemination,
+            epochs=epochs,
+            share_points=share_points,
+            seed=seed,
+            crypto_mode=CryptoMode.REAL,
+            mf=MfHyperParams(k=k),
+        )
+        plain = RexCluster(topology, plain_config, secure=True)
+        plain.run(train, test, global_mean=global_mean)
+        baseline_rmse = sum(
+            float(host.status()["test_rmse"]) for host in plain.hosts
+        ) / len(plain.hosts)
+
+    metrics = obs.metrics
+    return ChaosReport(
+        plan=plan.name,
+        seed=seed,
+        nodes=nodes,
+        epochs=epochs,
+        scheme=scheme.value,
+        dissemination=dissemination.value,
+        schedule_digest=injector.schedule_digest(),
+        injected=dict(injector.counts),
+        recovered=metrics.total("faults.recovered"),
+        lost=metrics.total("faults.lost"),
+        retries=metrics.total("net.retries"),
+        reattestations=metrics.total("faults.reattestations"),
+        barrier_timeouts=metrics.total("faults.barrier_timeouts"),
+        final_rmse=final_rmse,
+        node_rmse=node_rmse,
+        node_epochs=node_epochs,
+        baseline_rmse=baseline_rmse,
+        events=list(injector.events),
+    )

@@ -23,6 +23,43 @@ TINY_SPEC = MovieLensSpec(
 )
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--chaos-seed",
+        action="store",
+        type=int,
+        default=7,
+        help="experiment seed for the chaos/fault-injection tests; every fault "
+        "schedule is a pure function of (seed, plan), so re-running with the "
+        "seed printed by a failing chaos test replays it exactly",
+    )
+
+
+@pytest.fixture(scope="session")
+def chaos_seed(request) -> int:
+    """The seed chaos tests derive their fault schedules from."""
+    return int(request.config.getoption("--chaos-seed"))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """On a chaos-test failure, print the exact replay command."""
+    outcome = yield
+    report = outcome.get_result()
+    if (
+        report.when == "call"
+        and report.failed
+        and "chaos_seed" in getattr(item, "fixturenames", ())
+    ):
+        seed = item.config.getoption("--chaos-seed")
+        report.sections.append(
+            (
+                "chaos replay",
+                f"deterministic replay: pytest {item.nodeid} --chaos-seed={seed}",
+            )
+        )
+
+
 @pytest.fixture(scope="session")
 def tiny_dataset():
     return generate_movielens(TINY_SPEC, seed=11)

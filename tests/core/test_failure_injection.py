@@ -3,6 +3,11 @@
 The enclave must reject every malformed, replayed, or out-of-protocol
 input the untrusted host could throw at it, and the cluster runner must
 detect a stalled protocol instead of spinning forever.
+
+Faults are injected through the transport's first-class chaos surface
+(:attr:`Network.fault_hook` returning :class:`Fate` decisions, plus the
+seeded :class:`~repro.faults.FaultInjector` for whole-plan scenarios)
+rather than by monkeypatching delivery internals.
 """
 
 import pytest
@@ -23,9 +28,11 @@ from repro.core.messages import (
     pack_payload,
 )
 from repro.data.partition import partition_users_across_nodes
+from repro.faults import FaultInjector, FaultPlan, LinkFaults
 from repro.ml.mf import MfHyperParams
 from repro.net.serialization import encode_mf_state
 from repro.net.topology import Topology
+from repro.net.transport import Fate
 from repro.tee.crypto.aead import AeadError
 from repro.tee.errors import ChannelNotEstablished
 
@@ -42,13 +49,35 @@ def _config(scheme=SharingScheme.DATA, epochs=3, **kwargs):
     )
 
 
+def _two_node_cluster(secure=True, **config_kwargs):
+    return RexCluster(
+        Topology.fully_connected(2), _config(**config_kwargs), secure=secure
+    )
+
+
+def _shards(tiny_split):
+    train = partition_users_across_nodes(tiny_split.train, 2, seed=2)
+    test = partition_users_across_nodes(tiny_split.test, 2, seed=2)
+    return train, test, tiny_split.train.global_mean()
+
+
+def _tap(kinds, into):
+    """A pass-through fault hook that records matching wire messages."""
+
+    def hook(message, attempt):
+        if message.kind in kinds:
+            into.append(message)
+        return None  # deliver unharmed
+
+    return hook
+
+
 @pytest.fixture()
 def pair_cluster(tiny_split):
     """A bootstrapped (attested, epoch-0 done) two-node cluster."""
-    train = partition_users_across_nodes(tiny_split.train, 2, seed=2)
-    test = partition_users_across_nodes(tiny_split.test, 2, seed=2)
-    cluster = RexCluster(Topology.fully_connected(2), _config(), secure=True)
-    cluster.bootstrap(train, test, global_mean=tiny_split.train.global_mean())
+    train, test, gm = _shards(tiny_split)
+    cluster = _two_node_cluster()
+    cluster.bootstrap(train, test, global_mean=gm)
     for host in cluster.hosts:
         host.pump()
     return cluster
@@ -71,19 +100,11 @@ class TestMalformedInputs:
             host.enclave.ecall("ecall_input", 1, KIND_PAYLOAD, b"\x99" * 80)
 
     def test_replayed_payload_rejected(self, tiny_split):
-        train = partition_users_across_nodes(tiny_split.train, 2, seed=2)
-        test = partition_users_across_nodes(tiny_split.test, 2, seed=2)
-        cluster = RexCluster(Topology.fully_connected(2), _config(), secure=True)
+        train, test, gm = _shards(tiny_split)
+        cluster = _two_node_cluster()
         captured = []
-        original = cluster.network._deliver
-
-        def spy(message):
-            if message.kind == KIND_PAYLOAD and not captured:
-                captured.append(message)
-            original(message)
-
-        cluster.network._deliver = spy
-        cluster.bootstrap(train, test, global_mean=tiny_split.train.global_mean())
+        cluster.network.fault_hook = _tap({KIND_PAYLOAD}, captured)
+        cluster.bootstrap(train, test, global_mean=gm)
         for host in cluster.hosts:
             host.pump()
         replay = captured[0]
@@ -91,28 +112,39 @@ class TestMalformedInputs:
         with pytest.raises(ReplayError):
             target.enclave.ecall("ecall_input", replay.source, replay.kind, replay.payload)
 
+    def test_corrupted_frame_rejected_by_aead(self, tiny_split):
+        """A bit-flipped payload frame (the injector's mangle, applied as a
+        deterministic Fate) must fail authentication inside the enclave."""
+        train, test, gm = _shards(tiny_split)
+        cluster = _two_node_cluster()
+        injector = FaultInjector(
+            FaultPlan(name="mangle-probe", link=LinkFaults(corrupt_rate=1.0)), seed=0
+        )
+        captured = []
+
+        def corrupt_first_payload(message, attempt):
+            if message.kind == KIND_PAYLOAD and not captured:
+                captured.append(message)
+                return Fate("corrupt", payload=injector._mangle(message.payload))
+            return None
+
+        cluster.network.fault_hook = corrupt_first_payload
+        with pytest.raises((AeadError, ChannelNotEstablished)):
+            cluster.run(train, test, global_mean=gm)
+
     def test_quote_to_native_build_rejected(self, tiny_split):
-        train = partition_users_across_nodes(tiny_split.train, 2, seed=2)
-        test = partition_users_across_nodes(tiny_split.test, 2, seed=2)
-        cluster = RexCluster(Topology.fully_connected(2), _config(), secure=False)
-        cluster.bootstrap(train, test, global_mean=tiny_split.train.global_mean())
+        train, test, gm = _shards(tiny_split)
+        cluster = _two_node_cluster(secure=False)
+        cluster.bootstrap(train, test, global_mean=gm)
         with pytest.raises(ChannelNotEstablished):
             cluster.hosts[0].enclave.ecall("ecall_input", 1, KIND_QUOTE, b"junk")
 
     def test_duplicate_quote_is_idempotent(self, tiny_split):
-        train = partition_users_across_nodes(tiny_split.train, 2, seed=2)
-        test = partition_users_across_nodes(tiny_split.test, 2, seed=2)
-        cluster = RexCluster(Topology.fully_connected(2), _config(), secure=True)
+        train, test, gm = _shards(tiny_split)
+        cluster = _two_node_cluster()
         quotes = []
-        original = cluster.network._deliver
-
-        def spy(message):
-            if message.kind == KIND_QUOTE:
-                quotes.append(message)
-            original(message)
-
-        cluster.network._deliver = spy
-        cluster.bootstrap(train, test, global_mean=tiny_split.train.global_mean())
+        cluster.network.fault_hook = _tap({KIND_QUOTE}, quotes)
+        cluster.bootstrap(train, test, global_mean=gm)
         for host in cluster.hosts:
             host.pump()
         dup = quotes[0]
@@ -148,28 +180,24 @@ class TestMalformedInputs:
 
 class TestStallDetection:
     def test_dropped_messages_stall_is_reported(self, tiny_split):
-        """If the (lossless by contract) network silently drops payloads,
-        the barrier never fires and the runner must raise, not hang."""
-        train = partition_users_across_nodes(tiny_split.train, 2, seed=2)
-        test = partition_users_across_nodes(tiny_split.test, 2, seed=2)
-        cluster = RexCluster(Topology.fully_connected(2), _config(), secure=True)
-        original = cluster.network._deliver
+        """If the (lossless by contract) network drops payloads in strict
+        mode, the barrier never fires and the runner must raise, not hang."""
+        train, test, gm = _shards(tiny_split)
+        cluster = _two_node_cluster()
 
-        def lossy(message):
+        def black_hole(message, attempt):
             if message.kind == KIND_PAYLOAD and message.destination == 1:
-                return  # drop everything node 1 should receive
-            original(message)
+                return Fate("drop", reason="blackhole")
+            return None
 
-        cluster.network._deliver = lossy
+        cluster.network.fault_hook = black_hole
         with pytest.raises(RuntimeError, match="stalled"):
-            cluster.run(train, test, global_mean=tiny_split.train.global_mean())
+            cluster.run(train, test, global_mean=gm)
 
 
 class TestDedupFlagInApp:
     def test_dedup_disabled_grows_store_faster(self, tiny_split):
-        train = partition_users_across_nodes(tiny_split.train, 2, seed=2)
-        test = partition_users_across_nodes(tiny_split.test, 2, seed=2)
-        gm = tiny_split.train.global_mean()
+        train, test, gm = _shards(tiny_split)
 
         def final_store(dedup):
             cluster = RexCluster(

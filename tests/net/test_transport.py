@@ -3,7 +3,7 @@
 import pytest
 
 from repro.net.metrics import TrafficMeter
-from repro.net.transport import Network
+from repro.net.transport import Fate, Network, RetryPolicy
 
 
 @pytest.fixture()
@@ -33,6 +33,20 @@ class TestDelivery:
             a.send(1, bytes([i]))
         assert len(b.poll(max_messages=2)) == 2
         assert b.pending == 3
+
+    def test_poll_zero_returns_nothing(self, net):
+        """Regression: ``max_messages=0`` means "none", not "unlimited"."""
+        a, b = net.endpoint(0), net.endpoint(1)
+        a.send(1, b"x")
+        assert b.poll(max_messages=0) == []
+        assert b.pending == 1
+        assert len(b.poll()) == 1
+
+    def test_poll_negative_clamped_to_zero(self, net):
+        a, b = net.endpoint(0), net.endpoint(1)
+        a.send(1, b"x")
+        assert b.poll(max_messages=-3) == []
+        assert b.pending == 1
 
     def test_unknown_destination_rejected(self, net):
         a = net.endpoint(0)
@@ -118,3 +132,111 @@ class TestMetering:
         net.endpoint(1)
         a.send(1, b"1234", kind="payload")
         assert registry.value("net.kind.bytes", kind="payload") == 4
+
+
+class TestChaosSurface:
+    """The fault hook + tick clock + ARQ that repro.faults drives."""
+
+    def test_default_path_has_no_clock_dependence(self, net):
+        a, b = net.endpoint(0), net.endpoint(1)
+        a.send(1, b"now")
+        assert [m.payload for m in b.poll()] == [b"now"]
+        assert net.now == 0 and net.in_flight == 0
+
+    def test_drop_without_retry_policy_loses_message(self, net):
+        a, b = net.endpoint(0), net.endpoint(1)
+        net.fault_hook = lambda m, attempt: Fate("drop")
+        a.send(1, b"gone")
+        net.tick()
+        assert b.poll() == [] and net.in_flight == 0
+
+    def test_drop_with_retry_policy_recovers(self, net):
+        a, b = net.endpoint(0), net.endpoint(1)
+        attempts = []
+
+        def drop_first(message, attempt):
+            attempts.append(attempt)
+            return Fate("drop") if attempt == 1 else None
+
+        net.fault_hook = drop_first
+        net.retry_policy = RetryPolicy(max_attempts=3, backoff_base=1)
+        a.send(1, b"retried")
+        assert b.poll() == []  # first attempt dropped
+        net.tick()  # backoff elapses, attempt 2 delivers
+        assert [m.payload for m in b.poll()] == [b"retried"]
+        assert attempts == [1, 2]
+
+    def test_retries_are_bounded(self, net):
+        a, b = net.endpoint(0), net.endpoint(1)
+        attempts = []
+
+        def always_drop(message, attempt):
+            attempts.append(attempt)
+            return Fate("drop")
+
+        net.fault_hook = always_drop
+        net.retry_policy = RetryPolicy(max_attempts=3, backoff_base=1)
+        a.send(1, b"doomed")
+        for _ in range(20):
+            net.tick()
+        assert attempts == [1, 2, 3]
+        assert b.poll() == [] and net.in_flight == 0
+
+    def test_delay_holds_until_due_tick(self, net):
+        a, b = net.endpoint(0), net.endpoint(1)
+        net.fault_hook = lambda m, attempt: Fate("delay", delay=2)
+        a.send(1, b"late")
+        assert b.poll() == [] and net.in_flight == 1
+        net.tick()
+        assert b.poll() == []
+        net.tick()
+        assert [m.payload for m in b.poll()] == [b"late"]
+
+    def test_duplicate_delivers_twice(self, net):
+        a, b = net.endpoint(0), net.endpoint(1)
+        net.fault_hook = lambda m, attempt: Fate("duplicate", delay=1)
+        a.send(1, b"twin")
+        assert [m.payload for m in b.poll()] == [b"twin"]
+        net.tick()
+        assert [m.payload for m in b.poll()] == [b"twin"]
+
+    def test_corrupt_substitutes_payload(self, net):
+        a, b = net.endpoint(0), net.endpoint(1)
+        net.fault_hook = lambda m, attempt: Fate("corrupt", payload=b"XXX")
+        a.send(1, b"abc")
+        assert [m.payload for m in b.poll()] == [b"XXX"]
+
+    def test_unknown_fate_action_rejected(self, net):
+        a = net.endpoint(0)
+        net.endpoint(1)
+        net.fault_hook = lambda m, attempt: Fate("teleport")
+        with pytest.raises(ValueError, match="unknown fate"):
+            a.send(1, b"x")
+
+    def test_down_node_drops_traffic_and_inbox(self, net):
+        a, b = net.endpoint(0), net.endpoint(1)
+        a.send(1, b"before")
+        net.set_down(1)
+        assert net.is_down(1) and b.pending == 0  # undrained inbox lost
+        a.send(1, b"while-down")
+        assert b.poll() == []
+        net.set_up(1)
+        a.send(1, b"after")
+        assert [m.payload for m in b.poll()] == [b"after"]
+
+    def test_delayed_frame_to_crashed_receiver_is_lost(self, net):
+        a, b = net.endpoint(0), net.endpoint(1)
+        net.fault_hook = lambda m, attempt: Fate("delay", delay=1)
+        a.send(1, b"doomed")
+        net.fault_hook = None
+        net.set_down(1)
+        net.tick()
+        net.set_up(1)
+        assert b.poll() == []
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base=0)
+        assert RetryPolicy(max_attempts=4, backoff_base=2).backoff(3) == 8

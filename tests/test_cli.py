@@ -65,6 +65,29 @@ class TestCommands:
         trace = json.loads(trace_path.read_text())
         assert trace["traceEvents"]
 
+    def test_chaos_list_plans(self, capsys):
+        assert main(["chaos", "--list-plans"]) == 0
+        out = capsys.readouterr().out
+        assert "mixed-churn" in out and "refuse-attest" in out
+
+    def test_chaos_small_run(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "chaos.json"
+        code = main(
+            [
+                "chaos", "--plan", "lossy", "--seed", "7",
+                "--nodes", "4", "--epochs", "2", "--output", str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "schedule digest" in out and "faults injected" in out
+        doc = json.loads(out_path.read_text())
+        assert doc["schema"] == "repro.chaos/v1"
+        assert doc["plan"] == "lossy"
+        assert doc["injected_total"] > 0
+
     def test_compare_small(self, capsys):
         code = main(
             [
