@@ -1,15 +1,17 @@
 #!/usr/bin/env python
-"""A decentralized movie recommender, end to end.
+"""A decentralized movie recommender, end to end -- training AND serving.
 
 The scenario from the paper's introduction: users keep their ratings on
 their own devices, yet want recommendations informed by everyone else's
-taste.  REX nodes gossip raw (encrypted) ratings; every node ends up with
-a personal model good enough to rank unseen movies for its users.
+taste.  REX nodes gossip raw (encrypted) ratings; every node ends up
+with a personal model good enough to rank unseen movies for its users.
 
 This example trains a 30-node REX deployment on a synthetic MovieLens
-dataset, then produces top-5 recommendations for a few users from their
-*own node's* model -- no central service involved -- and compares the
-hit quality against the held-out test set.
+dataset, then turns node 0 into a *serving endpoint* with the
+:mod:`repro.serve` stack: the trained model is published as an immutable
+snapshot into a serving enclave, a Zipf query workload is driven through
+the host-side admission queue, and a few users get their top-10 -- with
+movies they already rated excluded, straight from the enclave.
 
 Run:  python examples/movie_recommender.py
 """
@@ -25,26 +27,25 @@ from repro import (
     generate_movielens,
 )
 from repro.data import partition_users_across_nodes
-from repro.ml.mf import MatrixFactorization, MfHyperParams
+from repro.ml.mf import MfHyperParams
+from repro.net.serialization import encode_triplets
+from repro.obs import Observability
+from repro.serve import RecServer, ServePolicy, WorkloadGenerator, WorkloadSpec
+from repro.serve.endpoint import ServeEnclaveApp
+from repro.serve.report import ServeReport
+from repro.serve.snapshot import encode_snapshot, snapshot_from_arrays
+from repro.serve.workload import run_trace
 from repro.sim import MfFleetSim
+from repro.tee import AttestationService, Platform
 
 N_NODES = 30
 EPOCHS = 120
+TOP_K = 10
 
 SPEC = MovieLensSpec(
     name="recommender-demo", n_ratings=60_000, n_items=2_000,
     n_users=400, last_updated=2020,
 )
-
-
-def top_n(model: MatrixFactorization, user: int, seen_items: set, n: int = 5):
-    """Rank all unseen items for ``user`` by predicted rating."""
-    candidates = np.array(
-        [i for i in range(model.n_items) if i not in seen_items], dtype=np.int64
-    )
-    scores = model.predict(np.full(len(candidates), user), candidates)
-    order = np.argsort(scores)[::-1][:n]
-    return list(zip(candidates[order].tolist(), scores[order].tolist()))
 
 
 def main():
@@ -70,40 +71,70 @@ def main():
     print(f"total traffic: {result.total_bytes / 2**20:.1f} MiB "
           f"across {EPOCHS} epochs\n")
 
-    # Rebuild one node's trained model from the fleet's stacked arrays.
+    # ------------------------------------------------------------------ #
+    # Publish node 0's trained model into a serving enclave.
+    # ------------------------------------------------------------------ #
     node = 0
-    node_users = sorted(set(train[node].users.tolist()))
-    model = MatrixFactorization(
-        dataset.n_users, dataset.n_items, config.mf,
-        seed=config.seed, global_mean=split.train.global_mean(),
+    snapshot = snapshot_from_arrays(
+        sim.XU[node], sim.YI[node], sim.BU[node], sim.BI[node],
+        sim.SU[node], sim.SI[node], sim.global_mean,
+        version=1, node_id=node, epoch=EPOCHS,
     )
-    model.user_factors[:] = sim.XU[node]
-    model.item_factors[:] = sim.YI[node]
-    model.user_bias[:] = sim.BU[node]
-    model.item_bias[:] = sim.BI[node]
+    obs = Observability.create()
+    platform = Platform("serve-demo", AttestationService(), metrics=obs.metrics)
+    enclave = platform.create_enclave(ServeEnclaveApp, f"serve-{node}")
+    meta = enclave.ecall("ecall_load", {
+        "snapshot": encode_snapshot(snapshot),
+        # The user's full training history drives exclusion: a movie
+        # rated anywhere must never be recommended back.
+        "ratings": encode_triplets(split.train),
+    })
+    print(f"published snapshot v{meta['version']} "
+          f"({meta['digest'][:16]}..., {meta['wire_bytes'] / 1024:.0f} KiB wire, "
+          f"{meta['resident_bytes'] / 1024:.0f} KiB resident)")
 
+    # ------------------------------------------------------------------ #
+    # Drive a Zipf workload through the admission front-end.
+    # ------------------------------------------------------------------ #
+    server = RecServer(
+        enclave,
+        policy=ServePolicy(top_k=TOP_K),
+        epc=platform.epc,
+        metrics=obs.metrics,
+    )
+    workload = WorkloadSpec(seed=0, n_users=SPEC.n_users, ticks=150, rate=5.0)
+    completions = run_trace(server, WorkloadGenerator(workload).trace())
+    latencies = [c.latency_s for c in completions]
+    summary = ServeReport.latency_summary(latencies)
+    print(f"served {len(completions)} queries: "
+          f"p50 {summary['p50'] * 1e3:.2f} ms, p99 {summary['p99'] * 1e3:.2f} ms, "
+          f"{server.shed_count} shed")
+    hits = obs.metrics.value("serve.cache.hits", cache="topn")
+    misses = obs.metrics.value("serve.cache.misses", cache="topn")
+    print(f"result cache: {hits:.0f} hits / {misses:.0f} misses "
+          f"({100 * hits / (hits + misses):.0f}% hit rate)\n")
+
+    # ------------------------------------------------------------------ #
+    # Top-10 for a few of the node's own users.
+    # ------------------------------------------------------------------ #
+    node_users = sorted(set(train[node].users.tolist()))
     print(f"node {node} serves users {node_users[:5]}... "
           f"({len(node_users)} users)")
-    train_by_user = {}
+    reply = server.enclave.ecall("ecall_serve", node_users[:3], TOP_K)
+    for row, user in enumerate(node_users[:3]):
+        recs = ", ".join(
+            f"movie {item} ({score:.2f} stars)"
+            for item, score in zip(reply["items"][row][:5], reply["scores"][row][:5])
+        )
+        print(f"  user {user}: {recs}, ...")
+
+    # Sanity: served lists never contain movies the user already rated.
+    rated = {}
     for u, i, _r in split.train.iter_triplets():
-        train_by_user.setdefault(u, set()).add(i)
-
-    for user in node_users[:3]:
-        seen = train_by_user.get(user, set())
-        recs = top_n(model, user, seen)
-        rec_str = ", ".join(f"movie {item} ({score:.2f} stars)" for item, score in recs)
-        print(f"  user {user}: {rec_str}")
-
-    # Sanity: on the held-out set, the node's predictions for its own
-    # users beat the predict-the-mean baseline.
-    mask = np.isin(split.test.users, node_users)
-    local_test = split.test.take(np.flatnonzero(mask))
-    model_rmse = model.evaluate_rmse(local_test)
-    baseline = float(
-        np.sqrt(np.mean((split.train.global_mean() - local_test.ratings) ** 2))
-    )
-    print(f"\nnode {node} held-out RMSE: {model_rmse:.4f} "
-          f"(predict-the-mean baseline: {baseline:.4f})")
+        rated.setdefault(u, set()).add(i)
+    for row, user in enumerate(node_users[:3]):
+        assert not rated.get(user, set()) & set(reply["items"][row])
+    print("\nexclusion check passed: no already-rated movie was recommended")
 
 
 if __name__ == "__main__":

@@ -16,6 +16,11 @@ Commands
 ``chaos``
     Run a named fault plan against a tolerance-mode cluster and print
     the fault/recovery report (optionally as a JSON artifact).
+``serve``
+    Train a small fleet, publish one node's snapshot into a serving
+    enclave, drive a seeded Zipf workload through the recommendation
+    server, and print the throughput/latency/quality report
+    (optionally as a ``repro.serve/v1`` JSON artifact).
 ``lint``
     Run the enclave-boundary / crypto-misuse / determinism static
     analyzer over source trees (text or JSON findings).
@@ -138,6 +143,35 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write the chaos report document (JSON) here",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="train -> publish -> serve pipeline -> serving report"
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--nodes", type=int, default=8)
+    serve.add_argument("--epochs", type=int, default=4)
+    serve.add_argument("--users", type=int, default=60)
+    serve.add_argument("--items", type=int, default=180)
+    serve.add_argument("--ratings", type=int, default=3_000)
+    serve.add_argument("--node", type=int, default=0, help="which node serves")
+    serve.add_argument("--top-k", type=int, default=10)
+    serve.add_argument("--requests-per-tick", type=float, default=4.0)
+    serve.add_argument("--ticks", type=int, default=200)
+    serve.add_argument("--zipf", type=float, default=1.1, help="popularity exponent")
+    serve.add_argument(
+        "--shed",
+        choices=("shed-oldest", "reject-newest"),
+        default="shed-oldest",
+        help="load-shedding policy when the admission queue is full",
+    )
+    serve.add_argument("--queue-depth", type=int, default=64)
+    serve.add_argument("--max-batch", type=int, default=32)
+    serve.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the repro.serve/v1 report document (JSON) here",
     )
 
     lint = sub.add_parser(
@@ -329,6 +363,43 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import json
+
+    from repro.serve import ServePolicy, WorkloadSpec, run_serving_experiment
+
+    report = run_serving_experiment(
+        seed=args.seed,
+        nodes=args.nodes,
+        epochs=args.epochs,
+        users=args.users,
+        items=args.items,
+        ratings=args.ratings,
+        node_id=args.node,
+        workload=WorkloadSpec(
+            seed=args.seed,
+            n_users=args.users,
+            ticks=args.ticks,
+            rate=args.requests_per_tick,
+            zipf_s=args.zipf,
+        ),
+        policy=ServePolicy(
+            top_k=args.top_k,
+            queue_depth=args.queue_depth,
+            max_batch=args.max_batch,
+            shed=args.shed,
+        ),
+    )
+    for line in report.format_lines():
+        print(line)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output} ({report.completed} completions)")
+    return 0
+
+
 def cmd_lint(args) -> int:
     from repro.lint import Severity, lint_paths, rule_catalog
 
@@ -373,6 +444,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "datasets": cmd_datasets,
         "metrics": cmd_metrics,
         "chaos": cmd_chaos,
+        "serve": cmd_serve,
         "lint": cmd_lint,
         "info": cmd_info,
     }

@@ -140,6 +140,9 @@ class RexEnclaveApp(TrustedApp):
         self._miss_counts: Dict[int, int] = {}
         #: Ticks spent blocked at the current barrier.
         self._stall_ticks = 0
+        # -- serving state (populated by ecall_publish_snapshot) -------- #
+        self._serving: Optional[ServingState] = None
+        self._snapshot_version = 0
 
         self._account_memory(staging=0)
 
@@ -181,6 +184,50 @@ class RexEnclaveApp(TrustedApp):
             "down_peers": sorted(self._down_peers),
             "store_items": len(self.store),
             "test_rmse": self.model.evaluate_rmse(self.test_data),
+        }
+
+    @ecall
+    def ecall_publish_snapshot(self) -> dict:
+        """Publish the live model as an immutable serving snapshot.
+
+        Copy-on-publish: training keeps mutating the live parameters
+        while queries score against the frozen copy.  Only the sanitized
+        snapshot metadata (sizes, digest) crosses back to the host.
+        """
+        # Deferred: repro.serve pulls in the sim/cluster world at package
+        # import time, which would cycle back into this module.
+        from repro.serve.endpoint import ServingState
+        from repro.serve.snapshot import publish_snapshot
+
+        if not isinstance(self.model, MatrixFactorization):
+            raise ValueError("serving snapshots require the MF model")
+        self._snapshot_version += 1
+        snapshot = publish_snapshot(
+            self.model,
+            version=self._snapshot_version,
+            node_id=self.node_id,
+            epoch=self.epoch,
+        )
+        if self._serving is None:
+            self._serving = ServingState(metrics=self.ctx.metrics)
+        # Exclusion comes from the node's raw store: everything this
+        # node knows a user already rated, local or gossiped.
+        dataset = self.store.as_dataset()
+        self._serving.install(snapshot, dataset.users, dataset.items)
+        self.ctx.memory.set("serve", self._serving.resident_bytes)
+        return snapshot.meta().to_dict()
+
+    @ecall
+    def ecall_serve(self, users: list, k: int) -> dict:
+        """Serve a top-``k`` batch; item ids, scores and counts leave."""
+        if self._serving is None or self._serving.snapshot is None:
+            raise ValueError("no snapshot published; call ecall_publish_snapshot")
+        items, scores, stats = self._serving.query_batch(users, k)
+        self.ctx.memory.set("serve", self._serving.resident_bytes)
+        return {
+            "items": items.tolist(),
+            "scores": scores.tolist(),
+            "stats": stats.to_dict(),
         }
 
     @ecall

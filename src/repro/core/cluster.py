@@ -114,6 +114,33 @@ class RexCluster:
             )
 
     # ------------------------------------------------------------------ #
+    # Serving (after training)
+    # ------------------------------------------------------------------ #
+    def serving_endpoint(self, node_id: int, *, policy=None, costs=None):
+        """Publish ``node_id``'s trained model and wrap its enclave in a
+        :class:`repro.serve.server.RecServer` admission front-end.
+
+        The snapshot never leaves the enclave: publication is an ecall
+        that freezes the live model in place, and the returned server
+        talks to the same enclave through ``ecall_serve``.
+        """
+        from repro.serve.server import RecServer
+
+        node_id = int(node_id)
+        if node_id in self.crashed:
+            raise RuntimeError(f"node {node_id} is crashed; restart it before serving")
+        host = self.hosts[node_id]
+        host.publish_snapshot()
+        metrics = self.obs.metrics if self.obs is not None else None
+        return RecServer(
+            host.enclave,
+            policy=policy,
+            costs=costs,
+            epc=self.epc,
+            metrics=metrics,
+        )
+
+    # ------------------------------------------------------------------ #
     # Churn surface (driven by the chaos controller)
     # ------------------------------------------------------------------ #
     def crash_node(self, node_id: int) -> None:

@@ -44,7 +44,9 @@ class Trust(Enum):
     SHARED = "shared"
 
 
-#: Enclave-resident code (Algorithm 2 world).
+#: Enclave-resident code (Algorithm 2 world, plus the serving engine:
+#: snapshots hold plaintext model parameters and the exclusion index is
+#: derived from the raw rating store).
 TRUSTED_PREFIXES: tuple = (
     "repro.core.app",
     "repro.core.store",
@@ -52,6 +54,10 @@ TRUSTED_PREFIXES: tuple = (
     "repro.tee.crypto",
     "repro.tee.attestation",
     "repro.ml",
+    "repro.serve.snapshot",
+    "repro.serve.scoring",
+    "repro.serve.cache",
+    "repro.serve.endpoint",
 )
 
 #: Substrate + boundary-crossing types + sanctioned whole-system models.
@@ -67,6 +73,9 @@ SHARED_PREFIXES: tuple = (
     "repro.obs",
     "repro.lint",
     "repro._rng",
+    # The train->publish->serve pipeline plays every role in one process,
+    # exactly like the repro.sim fleet simulators.
+    "repro.serve.runner",
 )
 
 #: Secret-bearing names defined in trusted modules.  Untrusted code
@@ -95,6 +104,10 @@ TRUSTED_INTERNAL_NAMES: frozenset = frozenset(
         # repro.tee.attestation
         "MutualAttestation",
         "derive_channel_key",
+        # repro.serve: snapshots and the serving engine hold plaintext
+        # model parameters; hosts deal in encoded payloads + SnapshotMeta.
+        "ModelSnapshot",
+        "ServingState",
     }
 )
 

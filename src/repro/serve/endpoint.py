@@ -1,0 +1,237 @@
+"""Enclave-resident serving engine and the standalone serving enclave.
+
+:class:`ServingState` is the in-enclave query engine: it owns the
+installed :class:`~repro.serve.snapshot.ModelSnapshot`, the per-user
+exclusion index derived from the node's raw ratings, and both serving
+caches.  :class:`ServeEnclaveApp` wraps it as a
+:class:`~repro.tee.enclave.TrustedApp` so a host can stand up a
+dedicated serving enclave: encoded snapshot + rating payloads flow *in*
+through ``ecall_load`` and only recommendation lists (item ids and
+predicted scores -- the system's sanctioned output) and sanitized batch
+statistics flow back out.
+
+Trusted module: everything here handles plaintext model parameters and
+the raw rating index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.net.serialization import decode_triplets
+from repro.obs import MetricsRegistry
+from repro.serve.cache import HotEmbeddingCache, TopNCache
+from repro.serve.scoring import batched_top_k, exclusion_index
+from repro.serve.snapshot import ModelSnapshot, decode_snapshot
+from repro.tee.enclave import TrustedApp, ecall
+
+__all__ = ["BatchStats", "ServingState", "ServeEnclaveApp"]
+
+#: Default cache sizes: enough to absorb a Zipf head without letting the
+#: pinned hot set dominate the EPC working-set accounting.
+DEFAULT_TOPN_CAPACITY = 4096
+DEFAULT_HOT_CAPACITY = 512
+
+
+@dataclass
+class BatchStats:
+    """Sanitized work counts for one served batch (safe to export)."""
+
+    requests: int = 0
+    cache_hits: int = 0
+    scored_users: int = 0
+    scored_pairs: int = 0
+    touched_bytes: int = 0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+class ServingState:
+    """The in-enclave query engine: snapshot + exclusions + caches."""
+
+    def __init__(
+        self,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        topn_capacity: int = DEFAULT_TOPN_CAPACITY,
+        hot_capacity: int = DEFAULT_HOT_CAPACITY,
+    ):
+        self.snapshot: Optional[ModelSnapshot] = None
+        self.exclusions: Dict[int, np.ndarray] = {}
+        self._exclusion_bytes = 0
+        self.topn = TopNCache(topn_capacity, metrics=metrics)
+        self.hot = HotEmbeddingCache(hot_capacity, metrics=metrics)
+        self._metrics = metrics
+        self.queries_served = 0
+        self.batches_served = 0
+
+    # ------------------------------------------------------------------ #
+    def install(
+        self,
+        snapshot: ModelSnapshot,
+        rated_users: Optional[np.ndarray] = None,
+        rated_items: Optional[np.ndarray] = None,
+    ) -> None:
+        """Install a published snapshot and rebuild the exclusion index.
+
+        Cache invalidation rides on the snapshot version: both caches
+        flush themselves on the first lookup against the new version.
+        """
+        self.snapshot = snapshot
+        if rated_users is not None and rated_items is not None:
+            self.exclusions = exclusion_index(
+                rated_users, rated_items, snapshot.n_users
+            )
+            self._exclusion_bytes = sum(a.nbytes for a in self.exclusions.values())
+        else:
+            self.exclusions = {}
+            self._exclusion_bytes = 0
+
+    @property
+    def resident_bytes(self) -> int:
+        """EPC working set serving adds: snapshot + index + pinned hot set."""
+        if self.snapshot is None:
+            return 0
+        return (
+            self.snapshot.resident_bytes
+            + self._exclusion_bytes
+            + self.hot.resident_bytes
+        )
+
+    # ------------------------------------------------------------------ #
+    def query_batch(
+        self, users: Sequence[int], k: int
+    ) -> Tuple[np.ndarray, np.ndarray, BatchStats]:
+        """Serve top-``k`` lists for a batch of users, cache-first.
+
+        Returns (items, scores) of shape (B, k) in request order plus the
+        batch's work counts.  A result-cache hit skips scoring entirely;
+        the remaining *unique* users are scored in one matrix product.
+        """
+        if self.snapshot is None:
+            raise RuntimeError("no snapshot installed")
+        snap = self.snapshot
+        k = int(k)
+        stats = BatchStats(requests=len(users))
+        out_items = np.full((len(users), k), -1, dtype=np.int64)
+        out_scores = np.full((len(users), k), np.nan, dtype=np.float64)
+
+        misses: list = []
+        for row, user in enumerate(users):
+            cached = self.topn.lookup(snap.version, int(user), k)
+            if cached is not None:
+                out_items[row], out_scores[row] = cached
+                stats.cache_hits += 1
+            else:
+                misses.append((row, int(user)))
+
+        if misses:
+            unique_users = sorted({user for _row, user in misses})
+            items, scores = batched_top_k(
+                snap.user_factors,
+                snap.user_bias,
+                snap.item_factors,
+                snap.item_bias,
+                snap.global_mean,
+                np.asarray(unique_users, dtype=np.int64),
+                k,
+                exclusions=self.exclusions,
+            )
+            by_user = {u: i for i, u in enumerate(unique_users)}
+            for row, user in misses:
+                idx = by_user[user]
+                out_items[row] = items[idx]
+                out_scores[row] = scores[idx]
+            for user in unique_users:
+                idx = by_user[user]
+                self.topn.store(snap.version, user, k, items[idx], scores[idx])
+                self.hot.store(
+                    snap.version,
+                    user,
+                    snap.user_factors[user],
+                    float(snap.user_bias[user]),
+                )
+            stats.scored_users = len(unique_users)
+            stats.scored_pairs = len(unique_users) * snap.n_items
+            # One scoring pass streams the whole item side once (shared by
+            # every user in the batch) plus the touched user rows; this is
+            # the byte count the EPC paging model charges.
+            row_bytes = snap.user_factors.itemsize * snap.k + snap.user_bias.itemsize
+            stats.touched_bytes = (
+                snap.item_factors.nbytes
+                + snap.item_bias.nbytes
+                + len(unique_users) * row_bytes
+            )
+
+        self.queries_served += stats.requests
+        self.batches_served += 1
+        if self._metrics is not None:
+            self._metrics.counter("serve.requests").inc(stats.requests)
+            self._metrics.counter("serve.batches").inc()
+            self._metrics.counter("serve.scored.pairs").inc(stats.scored_pairs)
+        return out_items, out_scores, stats
+
+
+class ServeEnclaveApp(TrustedApp):
+    """A dedicated serving enclave: load a snapshot, answer queries."""
+
+    @ecall
+    def ecall_load(self, args: dict) -> dict:
+        """Install an encoded snapshot (+ optional rating triplets).
+
+        ``args`` carries only bytes/scalars: the ``RXS1`` snapshot
+        payload, optionally the node's rating triplets (to rebuild the
+        seen-item exclusion index), and cache capacities.  Returns the
+        sanitized snapshot metadata.
+        """
+        snapshot = decode_snapshot(bytes(args["snapshot"]))
+        self.serving = ServingState(
+            metrics=self.ctx.metrics,
+            topn_capacity=int(args.get("topn_capacity", DEFAULT_TOPN_CAPACITY)),
+            hot_capacity=int(args.get("hot_capacity", DEFAULT_HOT_CAPACITY)),
+        )
+        ratings = args.get("ratings")
+        if ratings is not None:
+            data = decode_triplets(bytes(ratings))
+            self.serving.install(snapshot, data.users, data.items)
+        else:
+            self.serving.install(snapshot)
+        self._account()
+        return snapshot.meta().to_dict()
+
+    @ecall
+    def ecall_serve(self, users: list, k: int) -> dict:
+        """Serve one batch; only item ids, scores and counts leave."""
+        items, scores, stats = self.serving.query_batch(users, k)
+        self._account()
+        return {
+            "items": items.tolist(),
+            "scores": scores.tolist(),
+            "stats": stats.to_dict(),
+        }
+
+    @ecall
+    def ecall_serve_status(self) -> dict:
+        """Introspection for the host/tests (sanitized scalars only)."""
+        serving = self.serving
+        meta = serving.snapshot.meta() if serving.snapshot is not None else None
+        return {
+            "version": meta.version if meta else None,
+            "digest": meta.digest if meta else None,
+            "queries_served": serving.queries_served,
+            "batches_served": serving.batches_served,
+            "topn_hits": serving.topn.hits,
+            "topn_misses": serving.topn.misses,
+            "resident_bytes": serving.resident_bytes,
+        }
+
+    def _account(self) -> None:
+        serving = self.serving
+        snap = serving.snapshot
+        self.ctx.memory.set("serve.snapshot", snap.resident_bytes if snap else 0)
+        self.ctx.memory.set("serve.exclusions", serving._exclusion_bytes)
+        self.ctx.memory.set("serve.hot_cache", serving.hot.resident_bytes)

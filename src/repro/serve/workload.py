@@ -1,0 +1,160 @@
+"""Seeded query workloads: Zipf popularity, open- and closed-loop drive.
+
+Recommendation traffic is head-heavy -- a few users generate most
+queries -- which is exactly what makes the result cache earn its keep.
+:class:`WorkloadGenerator` models that with a Zipf-over-rank popularity
+law: a seeded permutation assigns each user a popularity rank, rank ``r``
+gets weight ``1/(r+1)^s``, and every draw comes from a named
+:func:`~repro._rng.child_rng` stream, so a (seed, spec) pair always
+yields the *same* trace.  The SHA-256 trace digest pins that in reports.
+
+Two drive modes:
+
+- :func:`run_trace` -- **open loop**: a pre-generated ``(tick, user)``
+  arrival trace is offered to the server on schedule, regardless of how
+  the server keeps up.  This is the mode reports pin, because the
+  offered load is identical across runs by construction.
+- :func:`run_closed_loop` -- ``clients`` concurrent users each keep one
+  request outstanding and think for a few ticks between requests; the
+  offered load adapts to the server's speed, like a saturation
+  benchmark.
+
+Untrusted module: workloads are public traffic, not secrets.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass
+from typing import List
+
+import numpy as np
+
+from repro._rng import child_rng
+from repro.serve.server import Completion, RecServer
+
+__all__ = ["WorkloadSpec", "WorkloadGenerator", "run_trace", "run_closed_loop"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Shape of one synthetic query workload."""
+
+    seed: int = 7
+    n_users: int = 100
+    #: Open-loop trace length in ticks.
+    ticks: int = 200
+    #: Mean arrivals per tick (Poisson).
+    rate: float = 4.0
+    #: Zipf popularity exponent; 0 means uniform traffic.
+    zipf_s: float = 1.1
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+class WorkloadGenerator:
+    """Deterministic Zipf-popularity query source."""
+
+    def __init__(self, spec: WorkloadSpec):
+        self.spec = spec
+        self._rng = child_rng(spec.seed, "serve", "workload")
+        ranks = np.arange(spec.n_users, dtype=np.float64)
+        weights = (ranks + 1.0) ** -float(spec.zipf_s)
+        # A seeded permutation decides WHICH users are popular, so the
+        # hot set is not just the lowest ids.
+        perm = self._rng.permutation(spec.n_users)
+        popularity = np.empty(spec.n_users, dtype=np.float64)
+        popularity[perm] = weights
+        self.popularity = popularity / popularity.sum()
+
+    def users(self, count: int) -> np.ndarray:
+        """Draw ``count`` user ids from the popularity law."""
+        return self._rng.choice(
+            self.spec.n_users, size=int(count), p=self.popularity
+        ).astype(np.int64)
+
+    def trace(self) -> np.ndarray:
+        """Open-loop arrival trace: an (N, 2) array of (tick, user) rows."""
+        counts = self._rng.poisson(self.spec.rate, size=self.spec.ticks)
+        total = int(counts.sum())
+        users = self.users(total)
+        ticks = np.repeat(np.arange(self.spec.ticks, dtype=np.int64), counts)
+        return np.column_stack([ticks, users])
+
+
+def trace_digest(trace: np.ndarray) -> str:
+    """SHA-256 over the canonical trace encoding (pins determinism)."""
+    h = hashlib.sha256()
+    h.update(b"repro.serve.trace/v1")
+    h.update(np.ascontiguousarray(trace, dtype="<i8").tobytes())
+    return h.hexdigest()
+
+
+def run_trace(server: RecServer, trace: np.ndarray) -> List[Completion]:
+    """Offer an open-loop trace on schedule, then drain the queue."""
+    completions: List[Completion] = []
+    arrivals = np.asarray(trace, dtype=np.int64)
+    pos = 0
+    last_tick = int(arrivals[-1, 0]) if len(arrivals) else -1
+    while server.tick <= last_tick:
+        while pos < len(arrivals) and int(arrivals[pos, 0]) == server.tick:
+            server.offer(int(arrivals[pos, 1]))
+            pos += 1
+        completions.extend(server.step())
+    completions.extend(server.drain())
+    return completions
+
+
+def run_closed_loop(
+    server: RecServer,
+    generator: WorkloadGenerator,
+    *,
+    clients: int,
+    requests: int,
+    think_ticks: int = 1,
+    max_ticks: int = 1_000_000,
+) -> List[Completion]:
+    """``clients`` one-outstanding-request users issue ``requests`` total.
+
+    A client is freed when its request completes *or* is shed, then
+    thinks ``think_ticks`` before issuing its next query.  The user
+    stream is drawn once up front, so the set of queried users is
+    deterministic even though the issue schedule adapts to server speed.
+    """
+    if clients < 1:
+        raise ValueError("need at least one client")
+    users = generator.users(requests)
+    next_free: List[int] = [0] * clients  # tick at which a client may issue
+    outstanding: dict = {}  # request_id -> client
+    completions: List[Completion] = []
+    issued = 0
+    finished = 0
+    while finished < requests:
+        if server.tick > max_ticks:
+            raise RuntimeError("closed-loop drive failed to finish")
+        for client in range(clients):
+            if next_free[client] < 0 or next_free[client] > server.tick:
+                continue
+            if issued >= requests:
+                continue
+            request_id = server.offer(int(users[issued]))
+            issued += 1
+            if request_id < 0:
+                finished += 1  # rejected outright; client retries later
+                next_free[client] = server.tick + think_ticks
+            else:
+                outstanding[request_id] = client
+                next_free[client] = -1  # blocked until completion/shed
+        for completion in server.step():
+            completions.append(completion)
+            finished += 1
+            client = outstanding.pop(completion.request_id, None)
+            if client is not None:
+                next_free[client] = server.tick + think_ticks
+        for request_id in server.take_shed():
+            finished += 1
+            client = outstanding.pop(request_id, None)
+            if client is not None:
+                next_free[client] = server.tick + think_ticks
+    return completions

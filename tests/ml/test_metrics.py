@@ -33,3 +33,68 @@ def test_shape_mismatch_rejected():
 def test_scale_invariance_of_shift():
     a, b = np.array([1.0, 2.0]), np.array([2.0, 3.0])
     assert rmse(a + 10, b + 10) == pytest.approx(rmse(a, b))
+
+
+# --------------------------------------------------------------------- #
+# Ranking metrics (serving layer)
+# --------------------------------------------------------------------- #
+from repro.ml.metrics import ndcg_at_k, precision_at_k, recall_at_k  # noqa: E402
+
+
+class TestPrecisionAtK:
+    def test_perfect_list(self):
+        assert precision_at_k([1, 2, 3], {1, 2, 3}, 3) == 1.0
+
+    def test_partial_hit(self):
+        assert precision_at_k([1, 9, 2, 8], {1, 2}, 4) == pytest.approx(0.5)
+
+    def test_denominator_is_k_even_for_short_lists(self):
+        # an endpoint that can only fill 2 of 5 slots is penalized
+        assert precision_at_k([1, 2], {1, 2}, 5) == pytest.approx(0.4)
+
+    def test_padding_ignored(self):
+        assert precision_at_k([1, -1, -1, -1], {1}, 4) == pytest.approx(0.25)
+
+    def test_nan_without_relevant_items(self):
+        assert np.isnan(precision_at_k([1, 2], set(), 2))
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            precision_at_k([1], {1}, 0)
+
+
+class TestRecallAtK:
+    def test_full_recall(self):
+        assert recall_at_k([1, 2, 9], {1, 2}, 3) == 1.0
+
+    def test_partial_recall(self):
+        assert recall_at_k([1, 9], {1, 2, 3, 4}, 2) == pytest.approx(0.25)
+
+    def test_only_top_k_counts(self):
+        assert recall_at_k([9, 8, 1], {1}, 2) == 0.0
+
+
+class TestNdcgAtK:
+    def test_perfect_ranking_is_one(self):
+        assert ndcg_at_k([1, 2, 3], {1, 2, 3}, 3) == pytest.approx(1.0)
+
+    def test_perfect_short_ideal_is_one(self):
+        # one relevant item, ranked first: ideal achieved
+        assert ndcg_at_k([1, 9, 8], {1}, 3) == pytest.approx(1.0)
+
+    def test_late_hit_discounted(self):
+        early = ndcg_at_k([1, 9, 8], {1}, 3)
+        late = ndcg_at_k([9, 8, 1], {1}, 3)
+        assert 0.0 < late < early
+
+    def test_known_value(self):
+        # hit at ranks 0 and 2; ideal has hits at ranks 0 and 1
+        got = ndcg_at_k([1, 9, 2], {1, 2}, 3)
+        expected = (1.0 + 1.0 / np.log2(4.0)) / (1.0 + 1.0 / np.log2(3.0))
+        assert got == pytest.approx(expected)
+
+    def test_no_hits_is_zero(self):
+        assert ndcg_at_k([7, 8, 9], {1}, 3) == 0.0
+
+    def test_nan_without_relevant_items(self):
+        assert np.isnan(ndcg_at_k([1], set(), 1))

@@ -1,0 +1,157 @@
+"""The enclave-resident serving engine and the standalone serving enclave."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import RatingsDataset
+from repro.net.serialization import encode_triplets
+from repro.obs import MetricsRegistry
+from repro.serve.endpoint import ServeEnclaveApp, ServingState
+from repro.serve.scoring import PAD_ITEM
+from repro.serve.snapshot import encode_snapshot, snapshot_from_arrays
+from repro.tee import AttestationService, Platform
+
+N_USERS, N_ITEMS, K = 12, 25, 4
+
+
+def make_snapshot(version=1, seed=0):
+    rng = np.random.default_rng(seed)
+    return snapshot_from_arrays(
+        rng.normal(size=(N_USERS, K)),
+        rng.normal(size=(N_ITEMS, K)),
+        rng.normal(size=N_USERS) * 0.1,
+        rng.normal(size=N_ITEMS) * 0.1,
+        np.ones(N_USERS, dtype=bool),
+        np.ones(N_ITEMS, dtype=bool),
+        3.5,
+        version=version,
+    )
+
+
+def make_ratings(seed=0, n=60):
+    rng = np.random.default_rng(seed)
+    return RatingsDataset(
+        rng.integers(0, N_USERS, n),
+        rng.integers(0, N_ITEMS, n),
+        rng.integers(1, 6, n).astype(np.float64),
+        n_users=N_USERS,
+        n_items=N_ITEMS,
+    )
+
+
+class TestServingState:
+    def test_query_requires_snapshot(self):
+        with pytest.raises(RuntimeError):
+            ServingState().query_batch([0], 5)
+
+    def test_batch_shapes_and_request_order(self):
+        state = ServingState()
+        state.install(make_snapshot())
+        users = [3, 0, 3, 7]
+        items, scores, stats = state.query_batch(users, 5)
+        assert items.shape == (4, 5) and scores.shape == (4, 5)
+        # duplicate users in one batch get identical rows
+        np.testing.assert_array_equal(items[0], items[2])
+        assert stats.requests == 4
+        assert stats.scored_users == 3  # unique users scored once
+        assert stats.scored_pairs == 3 * N_ITEMS
+
+    def test_exclusions_respected(self):
+        data = make_ratings()
+        state = ServingState()
+        state.install(make_snapshot(), data.users, data.items)
+        items, _scores, _stats = state.query_batch(list(range(N_USERS)), 6)
+        rated = {}
+        for user, item in zip(data.users, data.items):
+            rated.setdefault(int(user), set()).add(int(item))
+        for user in range(N_USERS):
+            recommended = set(items[user].tolist()) - {PAD_ITEM}
+            assert not recommended & rated.get(user, set())
+
+    def test_cache_hit_skips_scoring(self):
+        state = ServingState()
+        state.install(make_snapshot())
+        first = state.query_batch([1, 2], 5)
+        second = state.query_batch([1, 2], 5)
+        assert first[2].cache_hits == 0 and first[2].scored_users == 2
+        assert second[2].cache_hits == 2 and second[2].scored_users == 0
+        assert second[2].scored_pairs == 0 and second[2].touched_bytes == 0
+        np.testing.assert_array_equal(first[0], second[0])
+
+    def test_new_snapshot_version_invalidates_results(self):
+        state = ServingState()
+        state.install(make_snapshot(version=1, seed=0))
+        state.query_batch([1], 5)
+        state.install(make_snapshot(version=2, seed=9))  # different model
+        _items, _scores, stats = state.query_batch([1], 5)
+        assert stats.cache_hits == 0 and stats.scored_users == 1
+
+    def test_resident_bytes_grow_with_hot_set(self):
+        state = ServingState()
+        state.install(make_snapshot())
+        base = state.resident_bytes
+        state.query_batch([0, 1, 2], 5)
+        assert state.resident_bytes > base
+
+    def test_metrics_counters(self):
+        metrics = MetricsRegistry()
+        state = ServingState(metrics=metrics)
+        state.install(make_snapshot())
+        state.query_batch([0, 1], 5)
+        assert metrics.value("serve.requests") == 2
+        assert metrics.value("serve.batches") == 1
+        assert metrics.value("serve.scored.pairs") == 2 * N_ITEMS
+
+
+class TestServeEnclaveApp:
+    @pytest.fixture()
+    def enclave(self):
+        platform = Platform("serve-test", AttestationService())
+        return platform.create_enclave(ServeEnclaveApp, "serve-0")
+
+    def test_load_returns_sanitized_meta(self, enclave):
+        snap = make_snapshot(version=3)
+        meta = enclave.ecall("ecall_load", {"snapshot": encode_snapshot(snap)})
+        assert meta["version"] == 3 and meta["digest"] == snap.digest
+        assert meta["n_items"] == N_ITEMS
+        for value in meta.values():
+            assert isinstance(value, (int, float, str))
+
+    def test_serve_returns_lists_and_respects_exclusions(self, enclave):
+        data = make_ratings()
+        enclave.ecall(
+            "ecall_load",
+            {
+                "snapshot": encode_snapshot(make_snapshot()),
+                "ratings": encode_triplets(data),
+            },
+        )
+        reply = enclave.ecall("ecall_serve", [0, 1], 5)
+        assert isinstance(reply["items"], list) and len(reply["items"]) == 2
+        rated_by_0 = {
+            int(i) for u, i in zip(data.users, data.items) if int(u) == 0
+        }
+        assert not rated_by_0 & set(reply["items"][0])
+
+    def test_status_and_memory_accounting(self, enclave):
+        enclave.ecall("ecall_load", {"snapshot": encode_snapshot(make_snapshot())})
+        enclave.ecall("ecall_serve", [0, 1], 5)
+        enclave.ecall("ecall_serve", [0, 1], 5)
+        status = enclave.ecall("ecall_serve_status")
+        assert status["queries_served"] == 4 and status["batches_served"] == 2
+        assert status["topn_hits"] == 2
+        assert enclave.memory.resident_bytes >= status["resident_bytes"]
+
+    def test_cache_capacities_configurable(self, enclave):
+        enclave.ecall(
+            "ecall_load",
+            {
+                "snapshot": encode_snapshot(make_snapshot()),
+                "topn_capacity": 0,
+                "hot_capacity": 0,
+            },
+        )
+        enclave.ecall("ecall_serve", [0], 5)
+        enclave.ecall("ecall_serve", [0], 5)
+        status = enclave.ecall("ecall_serve_status")
+        assert status["topn_hits"] == 0  # cache disabled => rescored

@@ -1,0 +1,167 @@
+"""Batched top-K kernels: exactness against a brute-force argsort oracle.
+
+The satellite property test lives here: :func:`top_k_select` uses an
+argpartition fast path with tie repair at the pivot, and hypothesis
+checks it bit-for-bit against the obvious full-sort oracle -- including
+exclusion masks, K larger than the candidate count, and heavy ties.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.scoring import (
+    PAD_ITEM,
+    apply_exclusions,
+    batched_top_k,
+    exclusion_index,
+    score_batch,
+    top_k_select,
+)
+
+
+def oracle_top_k(scores: np.ndarray, k: int):
+    """Full-sort reference: descending score, ascending item id, -inf out."""
+    n_rows, _ = scores.shape
+    items = np.full((n_rows, k), PAD_ITEM, dtype=np.int64)
+    top = np.full((n_rows, k), np.nan, dtype=np.float64)
+    for row in range(n_rows):
+        ids = np.arange(scores.shape[1])
+        order = np.lexsort((ids, -scores[row]))
+        keep = [i for i in order if not np.isneginf(scores[row, i])][:k]
+        items[row, : len(keep)] = keep
+        top[row, : len(keep)] = scores[row, keep]
+    return items, top
+
+
+class TestScoreBatch:
+    def test_matches_manual_formula(self):
+        rng = np.random.default_rng(0)
+        uf = rng.normal(size=(6, 3))
+        itf = rng.normal(size=(8, 3))
+        ub = rng.normal(size=6)
+        ib = rng.normal(size=8)
+        users = np.array([4, 0, 4])
+        scores = score_batch(uf, ub, itf, ib, 3.5, users)
+        assert scores.shape == (3, 8) and scores.dtype == np.float64
+        for row, user in enumerate(users):
+            for item in range(8):
+                expected = 3.5 + ub[user] + ib[item] + uf[user] @ itf[item]
+                assert scores[row, item] == pytest.approx(expected)
+
+    def test_float32_inputs_upcast(self):
+        rng = np.random.default_rng(1)
+        scores = score_batch(
+            rng.normal(size=(2, 4)).astype(np.float32),
+            rng.normal(size=2).astype(np.float32),
+            rng.normal(size=(5, 4)).astype(np.float32),
+            rng.normal(size=5).astype(np.float32),
+            3.5,
+            np.array([0, 1]),
+        )
+        assert scores.dtype == np.float64
+
+
+class TestExclusionIndex:
+    def test_groups_and_dedups_per_user(self):
+        users = np.array([2, 0, 2, 2, 0])
+        items = np.array([5, 1, 3, 5, 4])
+        index = exclusion_index(users, items, n_users=4)
+        assert set(index) == {0, 2}
+        np.testing.assert_array_equal(index[0], [1, 4])
+        np.testing.assert_array_equal(index[2], [3, 5])
+
+    def test_empty_input(self):
+        assert exclusion_index(np.array([]), np.array([]), n_users=4) == {}
+
+    def test_apply_masks_to_neg_inf(self):
+        scores = np.zeros((2, 4))
+        index = {1: np.array([0, 3])}
+        apply_exclusions(scores, np.array([0, 1]), index)
+        assert np.isneginf(scores[1, [0, 3]]).all()
+        assert np.isfinite(scores[0]).all() and np.isfinite(scores[1, [1, 2]]).all()
+
+
+class TestTopKSelect:
+    def test_all_ties_break_by_ascending_id(self):
+        items, scores = top_k_select(np.full((2, 6), 1.25), 3)
+        np.testing.assert_array_equal(items, [[0, 1, 2], [0, 1, 2]])
+        np.testing.assert_array_equal(scores, np.full((2, 3), 1.25))
+
+    def test_pads_when_fewer_eligible_than_k(self):
+        row = np.array([[1.0, -np.inf, 2.0, -np.inf]])
+        items, scores = top_k_select(row, 3)
+        np.testing.assert_array_equal(items[0], [2, 0, PAD_ITEM])
+        assert scores[0, 0] == 2.0 and scores[0, 1] == 1.0 and np.isnan(scores[0, 2])
+
+    def test_k_zero_and_k_beyond_width(self):
+        row = np.array([[3.0, 1.0]])
+        items, scores = top_k_select(row, 0)
+        assert items.shape == (1, 0) and scores.shape == (1, 0)
+        items, scores = top_k_select(row, 5)
+        np.testing.assert_array_equal(items[0], [0, 1, PAD_ITEM, PAD_ITEM, PAD_ITEM])
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            top_k_select(np.zeros((1, 3)), -1)
+
+    # -- the satellite property test ----------------------------------- #
+    @settings(max_examples=200, deadline=None)
+    @given(
+        data=st.data(),
+        n_rows=st.integers(1, 4),
+        n_cols=st.integers(1, 12),
+        k=st.integers(0, 14),
+    )
+    def test_matches_brute_force_oracle(self, data, n_rows, n_cols, k):
+        # Scores from a small discrete pool force heavy ties; a sprinkle
+        # of -inf models excluded items (possibly a whole row).
+        pool = st.sampled_from([-np.inf, -1.5, 0.0, 0.25, 0.25, 1.0, 2.5])
+        scores = np.array(
+            [
+                [data.draw(pool) for _ in range(n_cols)]
+                for _ in range(n_rows)
+            ],
+            dtype=np.float64,
+        )
+        fast_items, fast_scores = top_k_select(scores, k)
+        slow_items, slow_scores = oracle_top_k(scores, k)
+        np.testing.assert_array_equal(fast_items, slow_items)
+        np.testing.assert_array_equal(fast_scores, slow_scores)
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 2**31), k=st.integers(1, 12))
+    def test_batched_top_k_never_recommends_rated(self, seed, k):
+        rng = np.random.default_rng(seed)
+        n_users, n_items = 6, 10
+        uf = rng.normal(size=(n_users, 3))
+        itf = rng.normal(size=(n_items, 3))
+        ub, ib = rng.normal(size=n_users), rng.normal(size=n_items)
+        rated_users = rng.integers(0, n_users, 20)
+        rated_items = rng.integers(0, n_items, 20)
+        exclusions = exclusion_index(rated_users, rated_items, n_users)
+        users = np.arange(n_users)
+        items, scores = batched_top_k(
+            uf, ub, itf, ib, 3.5, users, k, exclusions=exclusions
+        )
+        for row, user in enumerate(users):
+            rated = set(exclusions.get(int(user), np.array([])).tolist())
+            recommended = [i for i in items[row].tolist() if i != PAD_ITEM]
+            assert not rated.intersection(recommended)
+            # padded exactly when eligible candidates run out
+            eligible = n_items - len(rated)
+            assert len(recommended) == min(k, eligible)
+
+
+class TestDeterminism:
+    def test_identical_inputs_identical_outputs(self):
+        rng = np.random.default_rng(3)
+        uf = rng.normal(size=(5, 4))
+        itf = rng.normal(size=(30, 4))
+        ub, ib = rng.normal(size=5), rng.normal(size=30)
+        users = np.array([1, 3, 1])
+        a = batched_top_k(uf, ub, itf, ib, 3.5, users, 7)
+        b = batched_top_k(uf, ub, itf, ib, 3.5, users, 7)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])

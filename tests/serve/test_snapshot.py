@@ -1,0 +1,158 @@
+"""Snapshot immutability, content digests, and the RXS1 wire codec."""
+
+import numpy as np
+import pytest
+
+from repro.ml.mf import MatrixFactorization, MfHyperParams
+from repro.net.serialization import CodecError
+from repro.serve.snapshot import (
+    decode_snapshot,
+    encode_snapshot,
+    publish_snapshot,
+    snapshot_from_arrays,
+)
+
+#: SHA-256 of the reference snapshot below; pins the canonical encoding.
+REFERENCE_DIGEST = "62fc56c5193d21f46e7eb78621674e1f023a793ebcc846546fc1af273faa35b3"
+
+
+def reference_snapshot(version=1, node_id=0, epoch=0):
+    k, n_users, n_items = 3, 5, 7
+    return snapshot_from_arrays(
+        np.arange(n_users * k, dtype=np.float64).reshape(n_users, k) / 10.0,
+        np.arange(n_items * k, dtype=np.float64).reshape(n_items, k) / 20.0,
+        np.linspace(-0.5, 0.5, n_users),
+        np.linspace(-0.25, 0.25, n_items),
+        np.array([1, 1, 0, 1, 1], dtype=bool),
+        np.ones(n_items, dtype=bool),
+        3.5,
+        version=version,
+        node_id=node_id,
+        epoch=epoch,
+    )
+
+
+def trained_model(seed=0):
+    model = MatrixFactorization(
+        20, 30, MfHyperParams(k=4), seed=seed, global_mean=3.5
+    )
+    rng = np.random.default_rng(seed)
+    from repro.data.dataset import RatingsDataset
+
+    data = RatingsDataset(
+        rng.integers(0, 20, 200),
+        rng.integers(0, 30, 200),
+        rng.integers(1, 6, 200).astype(np.float64),
+        n_users=20,
+        n_items=30,
+    )
+    model.mark_seen(data)
+    model.train_epoch(data, rng)
+    return model
+
+
+class TestDigest:
+    def test_pinned_reference_digest(self):
+        assert reference_snapshot().digest == REFERENCE_DIGEST
+
+    def test_digest_ignores_version_and_node(self):
+        a = reference_snapshot(version=1, node_id=0, epoch=0)
+        b = reference_snapshot(version=9, node_id=3, epoch=7)
+        assert a.digest == b.digest
+
+    def test_digest_changes_with_parameters(self):
+        a = reference_snapshot()
+        snap = reference_snapshot()
+        bumped = np.array(snap.item_bias, copy=True)
+        bumped[0] += 0.125
+        b = snapshot_from_arrays(
+            snap.user_factors,
+            snap.item_factors,
+            snap.user_bias,
+            bumped,
+            snap.user_seen,
+            snap.item_seen,
+            snap.global_mean,
+            version=1,
+        )
+        assert a.digest != b.digest
+
+
+class TestCopyOnPublish:
+    def test_later_training_does_not_leak_into_snapshot(self):
+        model = trained_model()
+        snap = publish_snapshot(model, version=1)
+        before = np.array(snap.item_factors, copy=True)
+        digest = snap.digest
+        model.item_factors += 1.0  # trainer keeps stepping
+        np.testing.assert_array_equal(snap.item_factors, before)
+        assert snap.digest == digest
+
+    def test_snapshot_arrays_are_frozen(self):
+        snap = reference_snapshot()
+        with pytest.raises(ValueError):
+            snap.item_factors[0, 0] = 99.0
+        with pytest.raises(ValueError):
+            snap.user_bias[0] = 1.0
+
+    def test_unseen_rows_are_canonicalized_to_zero(self):
+        rng = np.random.default_rng(1)
+        snap = snapshot_from_arrays(
+            rng.normal(size=(4, 2)),
+            rng.normal(size=(5, 2)),
+            rng.normal(size=4),
+            rng.normal(size=5),
+            np.array([1, 0, 1, 0], dtype=bool),
+            np.array([1, 1, 0, 1, 1], dtype=bool),
+            3.5,
+            version=1,
+        )
+        np.testing.assert_array_equal(snap.user_factors[1], 0.0)
+        np.testing.assert_array_equal(snap.item_factors[2], 0.0)
+        assert snap.user_bias[3] == 0.0 and snap.item_bias[2] == 0.0
+
+
+class TestMeta:
+    def test_meta_is_sanitized_scalars(self):
+        meta = reference_snapshot(version=2, node_id=1, epoch=5).meta().to_dict()
+        assert meta["version"] == 2 and meta["node_id"] == 1 and meta["epoch"] == 5
+        assert meta["k"] == 3 and meta["n_users"] == 5 and meta["n_items"] == 7
+        assert meta["seen_users"] == 4 and meta["seen_items"] == 7
+        for value in meta.values():
+            assert isinstance(value, (int, float, str))
+
+    def test_accounting_positive_and_consistent(self):
+        snap = reference_snapshot()
+        # 5*3 + 7*3 factor doubles, 5 + 7 bias doubles, 5 + 7 seen bytes
+        assert snap.resident_bytes == (15 + 21 + 5 + 7) * 8 + 12
+        assert snap.wire_bytes == len(encode_snapshot(snap))
+
+
+class TestWire:
+    def test_round_trip_preserves_identity(self):
+        snap = reference_snapshot(version=3, node_id=2, epoch=9)
+        back = decode_snapshot(encode_snapshot(snap))
+        assert back.version == 3 and back.node_id == 2 and back.epoch == 9
+        assert back.digest == snap.digest
+        np.testing.assert_allclose(back.user_factors, snap.user_factors)
+        np.testing.assert_array_equal(back.item_seen, snap.item_seen)
+
+    def test_float32_round_trip_preserves_digest(self):
+        rng = np.random.default_rng(0)
+        snap = snapshot_from_arrays(
+            rng.normal(size=(6, 4)).astype(np.float32),
+            rng.normal(size=(9, 4)).astype(np.float32),
+            rng.normal(size=6).astype(np.float32),
+            rng.normal(size=9).astype(np.float32),
+            np.ones(6, dtype=bool),
+            np.ones(9, dtype=bool),
+            3.57,
+            version=2,
+        )
+        assert decode_snapshot(encode_snapshot(snap)).digest == snap.digest
+
+    def test_bad_magic_rejected(self):
+        payload = bytearray(encode_snapshot(reference_snapshot()))
+        payload[:4] = b"NOPE"
+        with pytest.raises(CodecError):
+            decode_snapshot(bytes(payload))

@@ -99,3 +99,26 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "traffic ratio MS/REX" in out
+
+    def test_serve_small(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "serve.json"
+        code = main(
+            [
+                "serve", "--nodes", "4", "--epochs", "2",
+                "--ratings", "1600", "--users", "40", "--items", "120",
+                "--ticks", "100", "--output", str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out and "snapshot v1" in out
+        doc = json.loads(out_path.read_text())
+        assert doc["schema"] == "repro.serve/v1"
+        assert doc["completed"] > 0
+        assert len(doc["snapshot_digest"]) == 64
+
+    def test_serve_shed_policy_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--shed", "drop-random"])
