@@ -6,12 +6,20 @@ host per node, an in-process network, and a topology.  ``run`` pumps
 messages until every node has completed the requested number of epochs --
 event-driven, exactly like the real system, with the epoch barrier
 ("a message from all neighbors") enforced inside the enclaves.
+
+Scheduling is owned by the shared :class:`~repro.sim.kernel.EventKernel`
+(the default ``driver="kernel"``): each pump cycle registers host relays,
+transport ticks and chaos-controller ticks as ordered kernel events, so
+the cluster composes with every other event source (fleet epochs, serve
+ticks).  The seed's hand-rolled ``while`` loops survive verbatim behind
+``driver="legacy"`` as the behavior oracle; a parity regression test pins
+byte-identical per-epoch wire traffic and equal RMSE between the two.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set
 
 from repro.core.config import RexConfig
 from repro.core.host import RexHost
@@ -20,6 +28,9 @@ from repro.data.dataset import RatingsDataset
 from repro.net.topology import Topology
 from repro.net.transport import Network
 from repro.obs import Observability
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only (cycle: sim -> core)
+    from repro.sim.kernel import EventKernel
 from repro.tee.attestation import AttestationService
 from repro.tee.enclave import Platform
 from repro.tee.epc import EpcModel
@@ -93,6 +104,9 @@ class RexCluster:
         #: Optional chaos hook called once per tolerant pump iteration with
         #: this cluster; :mod:`repro.faults` installs its controller here.
         self.controller: Optional[object] = None
+        #: The event kernel that drove the most recent ``run`` (``None``
+        #: before the first run or after a legacy-driver run).
+        self.kernel: Optional["EventKernel"] = None
 
     def bootstrap(
         self,
@@ -197,15 +211,32 @@ class RexCluster:
         test_shards: Sequence[RatingsDataset],
         *,
         global_mean: float = 3.5,
+        driver: str = "kernel",
     ) -> ClusterRun:
-        """Bootstrap and pump until every node completed ``config.epochs``."""
+        """Bootstrap and pump until every node completed ``config.epochs``.
+
+        ``driver="kernel"`` (default) schedules pump cycles, transport
+        ticks and chaos ticks as :class:`~repro.sim.kernel.EventKernel`
+        events; ``driver="legacy"`` runs the seed's hand-rolled loops.
+        Both execute the identical work in the identical order -- the
+        kernel parity regression test pins byte-identical wire traffic
+        and equal RMSE between them.
+        """
+        if driver not in ("kernel", "legacy"):
+            raise ValueError(f"unknown driver {driver!r}; use 'kernel' or 'legacy'")
         self.bootstrap(train_shards, test_shards, global_mean=global_mean)
 
         target = self.config.epochs
-        if self.config.faults.enabled:
-            self._pump_tolerant(target)
+        if driver == "legacy":
+            self.kernel = None
+            if self.config.faults.enabled:
+                self._pump_tolerant(target)
+            else:
+                self._pump_strict(target)
+        elif self.config.faults.enabled:
+            self._pump_tolerant_kernel(target)
         else:
-            self._pump_strict(target)
+            self._pump_strict_kernel(target)
         return ClusterRun(
             config=self.config,
             secure=self.secure,
@@ -283,14 +314,119 @@ class RexCluster:
                 continue
             idle += 1
             if idle > patience + 8:
-                laggards = {
-                    host.node_id: (host.epoch_stats[-1].epoch + 1 if host.epoch_stats else 0)
-                    for host in self.hosts
-                    if host.node_id not in self.crashed and not self._node_done(host, target)
-                }
+                raise self._stall_error(idle, target)
+
+    def _stall_error(self, idle: int, target: int) -> RuntimeError:
+        laggards = {
+            host.node_id: (host.epoch_stats[-1].epoch + 1 if host.epoch_stats else 0)
+            for host in self.hosts
+            if host.node_id not in self.crashed and not self._node_done(host, target)
+        }
+        return RuntimeError(
+            f"chaos run stalled: no deliveries, retries or forced rounds for "
+            f"{idle} ticks; laggards (node: epoch) {laggards}, crashed nodes "
+            f"{sorted(self.crashed)}, target epoch {target}, "
+            f"{self.network.in_flight} frames in flight"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Kernel-driven scheduling (the default driver)
+    # ------------------------------------------------------------------ #
+    def _pump_strict_kernel(self, target: int) -> None:
+        """The strict loop re-expressed as recurring ``cluster.pump``
+        events: one kernel event per healthy-LAN pump cycle, identical
+        work in identical order (parity-pinned against the legacy loop)."""
+        from repro.sim.kernel import EventKernel
+
+        kernel = self.kernel = EventKernel()
+
+        def cycle() -> None:
+            moved = 0
+            done = True
+            for host in self.hosts:
+                moved += host.pump()
+                if len(host.epoch_stats) < target:
+                    done = False
+            if done:
+                return
+            if moved == 0:
+                laggards = [
+                    host.node_id for host in self.hosts if len(host.epoch_stats) < target
+                ]
                 raise RuntimeError(
-                    f"chaos run stalled: no deliveries, retries or forced rounds for "
-                    f"{idle} ticks; laggards (node: epoch) {laggards}, crashed nodes "
-                    f"{sorted(self.crashed)}, target epoch {target}, "
-                    f"{self.network.in_flight} frames in flight"
+                    f"protocol stalled: no messages in flight but nodes {laggards} "
+                    f"have not reached epoch {target}"
                 )
+            kernel.after(1.0, cycle, kind="cluster.pump", key=())
+
+        kernel.at(0.0, cycle, kind="cluster.pump", key=())
+        kernel.run()
+
+    def _pump_tolerant_kernel(self, target: int) -> None:
+        """The tolerant loop decomposed into per-tick kernel events.
+
+        Each simulated tick registers four same-timestamp events whose
+        keys pin the legacy iteration order: the chaos controller fires
+        first (``faults.tick``), then host relays (``cluster.pump``),
+        then the transport clock (``net.tick`` -- delayed frames and
+        scheduled retries), then the enclaves' barrier-patience clocks
+        (``cluster.node_tick``), which also does the idle/stall
+        accounting and schedules the next tick's events.
+        """
+        from repro.sim.kernel import EventKernel
+
+        patience = self.config.faults.barrier_patience_ticks
+        kernel = self.kernel = EventKernel()
+        state = {"idle": 0, "stop": False, "moved": 0, "flushed": 0}
+
+        def fault_tick() -> None:
+            if self.controller is not None:
+                self.controller.on_tick(self)
+
+        def pump() -> None:
+            moved = 0
+            done = True
+            for host in self.hosts:
+                if host.node_id in self.crashed:
+                    continue
+                moved += host.pump()
+                if not self._node_done(host, target):
+                    done = False
+            if done and self.controller is not None:
+                # A scheduled restart is known future work: keep pumping so
+                # the reborn node gets to rejoin and finish, instead of
+                # declaring victory while a churn event is still pending.
+                done = not getattr(self.controller, "pending_work", lambda: False)()
+            state["moved"] = moved
+            state["stop"] = done
+
+        def net_tick() -> None:
+            if state["stop"]:
+                return
+            state["flushed"] = self.network.tick()
+
+        def node_tick() -> None:
+            if state["stop"]:
+                return
+            forced = 0
+            for host in self.hosts:
+                if host.node_id not in self.crashed and not self._node_done(host, target):
+                    forced += host.tick()
+            if state["moved"] or state["flushed"] or forced or self.network.in_flight:
+                state["idle"] = 0
+            else:
+                state["idle"] += 1
+                if state["idle"] > patience + 8:
+                    raise self._stall_error(state["idle"], target)
+            schedule_tick(kernel.now + 1.0)
+
+        def schedule_tick(at: float) -> None:
+            state["moved"] = 0
+            state["flushed"] = 0
+            kernel.at(at, fault_tick, kind="faults.tick", key=(0,))
+            kernel.at(at, pump, kind="cluster.pump", key=(1,))
+            kernel.at(at, net_tick, kind="net.tick", key=(2,))
+            kernel.at(at, node_tick, kind="cluster.node_tick", key=(3,))
+
+        schedule_tick(0.0)
+        kernel.run()

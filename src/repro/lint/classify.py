@@ -73,6 +73,11 @@ SHARED_PREFIXES: tuple = (
     "repro.obs",
     "repro.lint",
     "repro._rng",
+    # The whole simulation engine, including the event kernel
+    # (repro.sim.kernel): the kernel schedules trusted work (training
+    # epochs, fault ticks) and untrusted work (transport ticks, serving
+    # arrivals) on one queue, so it belongs to both worlds by design.
+    "repro.sim",
     # The train->publish->serve pipeline plays every role in one process,
     # exactly like the repro.sim fleet simulators.
     "repro.serve.runner",
@@ -147,7 +152,7 @@ def classify_module(module: str) -> Trust:
     """Classify a dotted module name into the trust lattice."""
     if _match(module, TRUSTED_PREFIXES):
         return Trust.TRUSTED
-    if _match(module, SHARED_PREFIXES) or _match(module, ("repro.sim",)):
+    if _match(module, SHARED_PREFIXES):
         return Trust.SHARED
     return Trust.UNTRUSTED
 

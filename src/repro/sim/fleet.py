@@ -40,6 +40,7 @@ from repro.net.serialization import measure_mf_state, measure_triplets
 from repro.net.topology import Topology
 from repro.obs import Observability
 from repro.obs.stages import record_epoch
+from repro.sim.kernel import EventKernel
 from repro.sim.recorder import MIB, EpochRecord, RunResult
 from repro.sim.time_model import DEFAULT_TIME_MODEL, StageTimer, TimeModel
 
@@ -209,6 +210,10 @@ class MfFleetSim:
         self._model_bytes = (
             (self.n_users + self.n_items) * (k + 1) * 4 + self.n_users + self.n_items
         )
+
+        #: The event kernel driving the most recent ``run`` (``None``
+        #: before the first run or after a legacy-driver run).
+        self.kernel: Optional[EventKernel] = None
 
     # ------------------------------------------------------------------ #
     # Setup helpers
@@ -429,18 +434,31 @@ class MfFleetSim:
     # ------------------------------------------------------------------ #
     # The run loop
     # ------------------------------------------------------------------ #
-    def run(self, obs: Optional[Observability] = None) -> RunResult:
+    def run(
+        self, obs: Optional[Observability] = None, *, driver: str = "kernel"
+    ) -> RunResult:
         """Execute ``config.epochs`` epochs and return the full record.
 
         With an :class:`~repro.obs.Observability` the run also emits the
         shared per-epoch span/counter schema (see :mod:`repro.obs.stages`).
+
+        ``driver`` selects the scheduler: ``"kernel"`` (default)
+        registers each epoch as a ``fleet.epoch`` event on an
+        :class:`~repro.sim.kernel.EventKernel` -- the production path
+        every other event source (transport ticks, chaos schedules,
+        serving ticks) composes with -- while ``"legacy"`` keeps the
+        seed's plain epoch loop as the behavior oracle.  The parity
+        regression test pins that both drivers produce identical records.
         """
+        if driver not in ("kernel", "legacy"):
+            raise ValueError(f"unknown driver {driver!r}; use 'kernel' or 'legacy'")
         cfg = self.config
-        timer = StageTimer(
+        self._obs = obs
+        self._timer = StageTimer(
             time_model=self.time_model,
             metrics=obs.metrics if obs is not None else None,
         )
-        degrees = self.topology.degrees.astype(np.float64)
+        self._degrees = self.topology.degrees.astype(np.float64)
         result = RunResult(
             label=cfg.label,
             scheme=cfg.scheme.value,
@@ -451,122 +469,151 @@ class MfFleetSim:
             sgx=None,
             metadata={"share_points": cfg.share_points, "k": self.k},
         )
+        self._result = result
+        self._sim_clock = 0.0
+        self._cum_bytes = 0
+        self._pending_samples: Optional[List[np.ndarray]] = None
+        self._pending_recipients: Optional[np.ndarray] = None
 
-        sim_clock = 0.0
-        cum_bytes = 0
-        pending_samples: Optional[List[tuple]] = None
-        pending_recipients: Optional[np.ndarray] = None
+        if driver == "legacy":
+            self.kernel = None
+            for epoch in range(cfg.epochs):
+                self._epoch_step(epoch)
+            return result
 
-        for epoch in range(cfg.epochs):
-            merged_rows = np.zeros(self.n_nodes, dtype=np.int64)
-            dedup_items = np.zeros(self.n_nodes, dtype=np.int64)
-            staging = np.zeros(self.n_nodes, dtype=np.int64)
+        kernel = self.kernel = EventKernel()
 
-            # -- merge (messages shared at the end of the previous epoch) --
-            if epoch > 0:
-                if cfg.scheme is SharingScheme.DATA:
-                    _, dedup_items, staging = self._merge_data(
-                        pending_samples, pending_recipients
-                    )
-                elif cfg.dissemination is Dissemination.DPSGD:
-                    merged_rows = self._merge_models_dpsgd()
-                    staging = (
-                        merged_rows * (self.k + 1) * 4
-                    )  # decoded alien rows resident during merge
-                else:
-                    merged_rows = self._merge_models_rmw(pending_recipients)
-                    staging = merged_rows * (self.k + 1) * 4
-
-            # -- train ------------------------------------------------- --
-            train_samples = self._train()
-
-            # -- share -------------------------------------------------- --
-            if cfg.dissemination is Dissemination.RMW:
-                recipients = self._select_rmw_recipients()
-                full_messages = np.ones(self.n_nodes)
-                empty_messages = degrees - 1
-            else:
-                recipients = None
-                full_messages = degrees
-                empty_messages = np.zeros(self.n_nodes)
-
-            if cfg.scheme is SharingScheme.DATA:
-                samples = self._draw_share_samples()
-                content_bytes = np.array(
-                    [measure_triplets(len(s)) for s in samples], dtype=np.float64
+        def fire(epoch: int) -> None:
+            self._epoch_step(epoch)
+            if epoch + 1 < cfg.epochs:
+                # The next epoch starts at this epoch's barrier time.
+                kernel.at(
+                    self._sim_clock,
+                    lambda: fire(epoch + 1),
+                    kind="fleet.epoch",
+                    key=(epoch + 1,),
                 )
-                pending_samples = samples
-            else:
-                content_bytes = np.array(
-                    [
-                        measure_mf_state(
-                            int(self.SU[i].sum()), int(self.SI[i].sum()), self.k
-                        )
-                        for i in range(self.n_nodes)
-                    ],
-                    dtype=np.float64,
-                )
-                pending_samples = None
-            pending_recipients = recipients
 
-            payload_bytes = (
-                full_messages * (content_bytes + HEADER_BYTES)
-                + empty_messages * HEADER_BYTES
-            )
-
-            # -- test ---------------------------------------------------- --
-            rmse = self._test_rmse()
-
-            # -- timing / recording -------------------------------------- --
-            store_bytes = np.array(
-                [self.stores.nbytes(i) for i in range(self.n_nodes)], dtype=np.float64
-            )
-            resident = store_bytes + self._model_bytes + staging
-            stages = timer.mf_stage_times(
-                k=self.k,
-                merged_rows=merged_rows,
-                dedup_items=dedup_items,
-                train_samples=train_samples,
-                serialized_bytes=content_bytes,
-                payload_bytes=payload_bytes,
-                messages=full_messages,
-                empty_messages=empty_messages,
-                test_samples=self._test_counts,
-                resident_bytes=resident,
-                staging_bytes=staging,
-            )
-            durations = StageTimer.epoch_duration(
-                stages, overlap_share=cfg.parallel_share
-            )
-            epoch_start = sim_clock
-            sim_clock += float(np.max(durations))
-            epoch_bytes = int(payload_bytes.sum())
-            cum_bytes += epoch_bytes
-            record_epoch(
-                obs,
-                epoch=epoch,
-                start_s=epoch_start,
-                duration_s=sim_clock - epoch_start,
-                stage_seconds={name: float(np.mean(v)) for name, v in stages.items()},
-                payload_bytes=epoch_bytes,
-                serialized_bytes=int(content_bytes.sum()),
-                messages=int(full_messages.sum() + empty_messages.sum()),
-                rmse=float(np.nanmean(rmse)),
-            )
-            result.records.append(
-                EpochRecord(
-                    epoch=epoch,
-                    sim_time_s=sim_clock,
-                    test_rmse=float(np.nanmean(rmse)),
-                    bytes_sent=epoch_bytes,
-                    cum_bytes=cum_bytes,
-                    merge_time_s=float(np.mean(stages["merge"])),
-                    train_time_s=float(np.mean(stages["train"])),
-                    share_time_s=float(np.mean(stages["share"])),
-                    test_time_s=float(np.mean(stages["test"])),
-                    network_time_s=float(np.mean(stages["network"])),
-                    memory_mib_mean=float(np.mean(resident)) / MIB,
-                    memory_mib_max=float(np.max(resident)) / MIB,
-                )
-            )
+        kernel.at(0.0, lambda: fire(0), kind="fleet.epoch", key=(0,))
+        kernel.run()
         return result
+
+    def _epoch_step(self, epoch: int) -> None:
+        """One full protocol epoch (merge -> train -> share -> test).
+
+        All nodes advance together in vectorized stage calls; the caller
+        (legacy loop or event kernel) owns only the scheduling.
+        """
+        cfg = self.config
+        obs = self._obs
+        merged_rows = np.zeros(self.n_nodes, dtype=np.int64)
+        dedup_items = np.zeros(self.n_nodes, dtype=np.int64)
+        staging = np.zeros(self.n_nodes, dtype=np.int64)
+
+        # -- merge (messages shared at the end of the previous epoch) --
+        if epoch > 0:
+            if cfg.scheme is SharingScheme.DATA:
+                _, dedup_items, staging = self._merge_data(
+                    self._pending_samples, self._pending_recipients
+                )
+            elif cfg.dissemination is Dissemination.DPSGD:
+                merged_rows = self._merge_models_dpsgd()
+                staging = (
+                    merged_rows * (self.k + 1) * 4
+                )  # decoded alien rows resident during merge
+            else:
+                merged_rows = self._merge_models_rmw(self._pending_recipients)
+                staging = merged_rows * (self.k + 1) * 4
+
+        # -- train ------------------------------------------------- --
+        train_samples = self._train()
+
+        # -- share -------------------------------------------------- --
+        if cfg.dissemination is Dissemination.RMW:
+            recipients = self._select_rmw_recipients()
+            full_messages = np.ones(self.n_nodes)
+            empty_messages = self._degrees - 1
+        else:
+            recipients = None
+            full_messages = self._degrees
+            empty_messages = np.zeros(self.n_nodes)
+
+        if cfg.scheme is SharingScheme.DATA:
+            samples = self._draw_share_samples()
+            content_bytes = np.array(
+                [measure_triplets(len(s)) for s in samples], dtype=np.float64
+            )
+            self._pending_samples = samples
+        else:
+            content_bytes = np.array(
+                [
+                    measure_mf_state(
+                        int(self.SU[i].sum()), int(self.SI[i].sum()), self.k
+                    )
+                    for i in range(self.n_nodes)
+                ],
+                dtype=np.float64,
+            )
+            self._pending_samples = None
+        self._pending_recipients = recipients
+
+        payload_bytes = (
+            full_messages * (content_bytes + HEADER_BYTES)
+            + empty_messages * HEADER_BYTES
+        )
+
+        # -- test ---------------------------------------------------- --
+        rmse = self._test_rmse()
+
+        # -- timing / recording -------------------------------------- --
+        store_bytes = np.array(
+            [self.stores.nbytes(i) for i in range(self.n_nodes)], dtype=np.float64
+        )
+        resident = store_bytes + self._model_bytes + staging
+        stages = self._timer.mf_stage_times(
+            k=self.k,
+            merged_rows=merged_rows,
+            dedup_items=dedup_items,
+            train_samples=train_samples,
+            serialized_bytes=content_bytes,
+            payload_bytes=payload_bytes,
+            messages=full_messages,
+            empty_messages=empty_messages,
+            test_samples=self._test_counts,
+            resident_bytes=resident,
+            staging_bytes=staging,
+        )
+        durations = StageTimer.epoch_duration(
+            stages, overlap_share=cfg.parallel_share
+        )
+        epoch_start = self._sim_clock
+        self._sim_clock += float(np.max(durations))
+        epoch_bytes = int(payload_bytes.sum())
+        self._cum_bytes += epoch_bytes
+        record_epoch(
+            obs,
+            epoch=epoch,
+            start_s=epoch_start,
+            duration_s=self._sim_clock - epoch_start,
+            stage_seconds={name: float(np.mean(v)) for name, v in stages.items()},
+            payload_bytes=epoch_bytes,
+            serialized_bytes=int(content_bytes.sum()),
+            messages=int(full_messages.sum() + empty_messages.sum()),
+            rmse=float(np.nanmean(rmse)),
+        )
+        self._result.records.append(
+            EpochRecord(
+                epoch=epoch,
+                sim_time_s=self._sim_clock,
+                test_rmse=float(np.nanmean(rmse)),
+                bytes_sent=epoch_bytes,
+                cum_bytes=self._cum_bytes,
+                merge_time_s=float(np.mean(stages["merge"])),
+                train_time_s=float(np.mean(stages["train"])),
+                share_time_s=float(np.mean(stages["share"])),
+                test_time_s=float(np.mean(stages["test"])),
+                network_time_s=float(np.mean(stages["network"])),
+                memory_mib_mean=float(np.mean(resident)) / MIB,
+                memory_mib_max=float(np.max(resident)) / MIB,
+            )
+        )

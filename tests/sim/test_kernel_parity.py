@@ -1,0 +1,150 @@
+"""Parity contract: kernel-driven execution == legacy loops, exactly.
+
+The event kernel replaced the hand-rolled per-epoch / pump loops as the
+default driver.  The legacy loops stay in-tree as the oracle, and this
+module pins the contract that makes the refactor provably
+behavior-preserving: at a fixed seed, the kernel-driven cluster produces
+**byte-identical per-epoch wire traffic** and **exactly equal RMSE** —
+not allclose; bit-equal floats — at 8 and 32 nodes, and the kernel-driven
+fleet simulator reproduces the legacy epoch records field for field.
+"""
+
+import pytest
+
+from repro.core import CryptoMode, Dissemination, RexCluster, RexConfig, SharingScheme
+from repro.data.partition import partition_users_across_nodes
+from repro.ml.mf import MfHyperParams
+from repro.net.topology import Topology
+from repro.sim.fleet import MfFleetSim
+
+
+def _config(n_nodes, epochs=3):
+    # 32 enclaves x real AEAD is needless cipher work for a scheduling
+    # parity test; ACCOUNTED mode is byte-identical on the wire.
+    return RexConfig(
+        scheme=SharingScheme.DATA,
+        dissemination=Dissemination.DPSGD,
+        epochs=epochs,
+        share_points=20,
+        mf=MfHyperParams(k=4, batch_size=16, batches_per_epoch=2),
+        crypto_mode=CryptoMode.REAL if n_nodes <= 8 else CryptoMode.ACCOUNTED,
+        seed=11,
+    )
+
+
+def _cluster_run(tiny_split, n_nodes, driver):
+    train = partition_users_across_nodes(tiny_split.train, n_nodes, seed=2)
+    test = partition_users_across_nodes(tiny_split.test, n_nodes, seed=2)
+    topology = (
+        Topology.fully_connected(n_nodes)
+        if n_nodes <= 8
+        else Topology.small_world(n_nodes, k=6, seed=3)
+    )
+    cluster = RexCluster(topology, _config(n_nodes))
+    return cluster.run(
+        train, test, global_mean=tiny_split.train.global_mean(), driver=driver
+    )
+
+
+@pytest.mark.parametrize("n_nodes", [8, 32])
+def test_cluster_kernel_matches_legacy(tiny_split, n_nodes):
+    kernel_run = _cluster_run(tiny_split, n_nodes, "kernel")
+    legacy_run = _cluster_run(tiny_split, n_nodes, "legacy")
+
+    assert kernel_run.epochs_completed == legacy_run.epochs_completed
+    for epoch in range(kernel_run.epochs_completed):
+        kernel_stats = kernel_run.stats_for_epoch(epoch)
+        legacy_stats = legacy_run.stats_for_epoch(epoch)
+        # Byte-identical per-epoch wire traffic, node by node.
+        assert [s.shared_payload_bytes for s in kernel_stats] == [
+            s.shared_payload_bytes for s in legacy_stats
+        ]
+        # Exact float equality: same seed, same arithmetic, same order.
+        assert [s.test_rmse for s in kernel_stats] == [
+            s.test_rmse for s in legacy_stats
+        ]
+    assert kernel_run.total_network_bytes == legacy_run.total_network_bytes
+
+
+def test_cluster_rejects_unknown_driver(tiny_split):
+    train = partition_users_across_nodes(tiny_split.train, 4, seed=2)
+    test = partition_users_across_nodes(tiny_split.test, 4, seed=2)
+    cluster = RexCluster(Topology.fully_connected(4), _config(4))
+    with pytest.raises(ValueError, match="driver"):
+        cluster.run(
+            train, test, global_mean=tiny_split.train.global_mean(), driver="warp"
+        )
+
+
+# --------------------------------------------------------------------- #
+# Fleet simulator: the kernel epoch chain reproduces the legacy loop.
+# --------------------------------------------------------------------- #
+def _fleet_sim(tiny_split, n_nodes=8):
+    train = partition_users_across_nodes(tiny_split.train, n_nodes, seed=2)
+    test = partition_users_across_nodes(tiny_split.test, n_nodes, seed=2)
+    config = RexConfig(
+        scheme=SharingScheme.DATA,
+        dissemination=Dissemination.DPSGD,
+        epochs=5,
+        share_points=15,
+        mf=MfHyperParams(k=4, batch_size=16, batches_per_epoch=2),
+    )
+    return MfFleetSim(
+        list(train),
+        list(test),
+        Topology.fully_connected(n_nodes),
+        config,
+        global_mean=tiny_split.train.global_mean(),
+    )
+
+
+def test_fleet_kernel_matches_legacy(tiny_split):
+    kernel_result = _fleet_sim(tiny_split).run(driver="kernel")
+    legacy_result = _fleet_sim(tiny_split).run(driver="legacy")
+    assert kernel_result.rmses() == legacy_result.rmses()
+    assert kernel_result.cum_bytes() == legacy_result.cum_bytes()
+    assert kernel_result.times() == legacy_result.times()
+    for kernel_record, legacy_record in zip(
+        kernel_result.records, legacy_result.records
+    ):
+        assert kernel_record == legacy_record
+
+
+def test_fleet_kernel_populates_event_trace(tiny_split):
+    sim = _fleet_sim(tiny_split)
+    sim.run(driver="kernel")
+    assert sim.kernel is not None
+    assert sim.kernel.processed == 5  # one fleet.epoch event per epoch
+    # Same seed, same schedule -> same fingerprint.
+    again = _fleet_sim(tiny_split)
+    again.run(driver="kernel")
+    assert again.kernel.trace_digest() == sim.kernel.trace_digest()
+
+
+def test_fleet_rejects_unknown_driver(tiny_split):
+    with pytest.raises(ValueError, match="driver"):
+        _fleet_sim(tiny_split).run(driver="warp")
+
+
+# --------------------------------------------------------------------- #
+# Serving: kernel-scheduled serve.tick events == the polling loop.
+# --------------------------------------------------------------------- #
+def test_serve_trace_kernel_matches_polling_loop():
+    from repro.serve.server import RecServer, ServePolicy
+    from repro.serve.workload import WorkloadGenerator, WorkloadSpec, run_trace
+    from repro.sim.kernel import EventKernel
+    from tests.serve.test_server import _StubEnclave
+
+    trace = WorkloadGenerator(WorkloadSpec(seed=4, n_users=20, ticks=30, rate=2.0)).trace()
+
+    legacy_server = RecServer(_StubEnclave(), policy=ServePolicy(queue_depth=8))
+    legacy = run_trace(legacy_server, trace)
+
+    kernel = EventKernel()
+    kernel_server = RecServer(_StubEnclave(), policy=ServePolicy(queue_depth=8))
+    driven = run_trace(kernel_server, trace, kernel=kernel)
+
+    assert driven == legacy
+    assert kernel_server.tick == legacy_server.tick
+    assert kernel_server.shed_count == legacy_server.shed_count
+    assert kernel.processed >= legacy_server.tick  # one serve.tick per tick
