@@ -2,8 +2,11 @@
 
 A dependency-free AST analyzer enforcing the invariants the runtime
 substrate cannot: untrusted code never imports enclave internals, tags
-are compared in constant time, nonces derive from channel counters, and
-no wall-clock/entropy read sneaks into the deterministic simulation.
+are compared in constant time, nonces derive from channel counters, no
+wall-clock/entropy read sneaks into the deterministic simulation -- and,
+via the interprocedural taint pass (:mod:`repro.lint.flow`), raw rating
+data, decrypted payloads and enclave model state never reach a
+host-visible sink unsealed.
 
 Run it as ``repro lint [paths ...]`` or programmatically::
 
@@ -12,30 +15,51 @@ Run it as ``repro lint [paths ...]`` or programmatically::
     assert report.errors == 0
 """
 
-from repro.lint.classify import Trust, classify_module
-from repro.lint.findings import Finding, Severity
-from repro.lint.registry import LintContext, Rule, all_rules, register, rule_catalog
+from repro.lint.baseline import Baseline
+from repro.lint.classify import Trust, classify_module, lattice_prefix
+from repro.lint.findings import Finding, FlowStep, Severity
+from repro.lint.registry import (
+    LintContext,
+    Program,
+    ProgramRule,
+    Rule,
+    all_program_rules,
+    all_rules,
+    register,
+    rule_catalog,
+)
 from repro.lint.runner import (
     LintReport,
     lint_file,
     lint_paths,
     lint_source,
+    lint_sources,
     module_name_for,
 )
+from repro.lint.sarif import format_sarif, to_sarif
 
 __all__ = [
     "Trust",
     "classify_module",
+    "lattice_prefix",
     "Finding",
+    "FlowStep",
     "Severity",
     "LintContext",
+    "Program",
     "Rule",
+    "ProgramRule",
     "register",
     "all_rules",
+    "all_program_rules",
     "rule_catalog",
     "LintReport",
     "lint_source",
+    "lint_sources",
     "lint_file",
     "lint_paths",
     "module_name_for",
+    "Baseline",
+    "format_sarif",
+    "to_sarif",
 ]

@@ -1,0 +1,86 @@
+"""Finding baseline with ratchet semantics.
+
+The baseline file records known findings as ``(rule, path, message)``
+triples -- line numbers are deliberately excluded so unrelated code
+motion does not churn the file.  A lint run with ``--baseline``:
+
+- suppresses findings present in the baseline (they are *known debt*,
+  reported in the summary count, and burn down as code is fixed),
+- still fails on anything new (the ratchet),
+- never needs manual editing: ``--write-baseline`` regenerates the
+  file from the current findings, which is how entries are removed
+  after a fix.
+
+The shipped tree is clean, so the committed ``lint-baseline.json`` has
+zero entries; CI gates on "no finding outside the baseline".
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path, PurePath
+from typing import Iterable, List, Set, Tuple
+
+from repro.lint.findings import Finding
+
+__all__ = ["Baseline", "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+
+
+def _norm(path: str) -> str:
+    return PurePath(path).as_posix()
+
+
+def _key(finding: Finding) -> Tuple[str, str, str]:
+    return (finding.rule_id, _norm(finding.path), finding.message)
+
+
+@dataclass
+class Baseline:
+    """A loaded baseline: a set of known ``(rule, path, message)`` keys."""
+
+    entries: Set[Tuple[str, str, str]]
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(entries=set())
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        file = Path(path)
+        if not file.exists():
+            return cls.empty()
+        doc = json.loads(file.read_text(encoding="utf-8"))
+        entries = {
+            (e["rule"], e["path"], e["message"])
+            for e in doc.get("entries", [])
+        }
+        return cls(entries=entries)
+
+    @staticmethod
+    def write(path: str, findings: Iterable[Finding]) -> int:
+        """Regenerate the baseline file from current findings."""
+        keys = sorted({_key(f) for f in findings})
+        doc = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                {"rule": rule, "path": p, "message": message}
+                for rule, p, message in keys
+            ],
+        }
+        Path(path).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        return len(keys)
+
+    def split(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """``(new, baselined)`` partition of ``findings``."""
+        new: List[Finding] = []
+        known: List[Finding] = []
+        for finding in findings:
+            (known if _key(finding) in self.entries else new).append(finding)
+        return new, known

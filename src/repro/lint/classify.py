@@ -30,8 +30,11 @@ __all__ = [
     "Trust",
     "classify_module",
     "is_trusted_module",
+    "lattice_prefix",
     "TRUSTED_PREFIXES",
     "SHARED_PREFIXES",
+    "UNTRUSTED_PREFIXES",
+    "UNTRUSTED_MODULES",
     "TRUSTED_INTERNAL_NAMES",
     "ENTROPY_SHIM_MODULES",
     "has_secret_token",
@@ -116,6 +119,36 @@ TRUSTED_INTERNAL_NAMES: frozenset = frozenset(
     }
 )
 
+#: Host-side subtrees: every module under these prefixes is untrusted,
+#: including ones added later (wholly-host packages stay wholly host).
+UNTRUSTED_PREFIXES: tuple = (
+    "repro.analysis",
+    "repro.data",
+    "repro.faults",
+    "repro.net",
+)
+
+#: Host-side modules listed *exactly*, not by subtree.  These live in
+#: mixed packages (``repro.core`` holds both the enclave app and the
+#: host bootstrap) where a subtree prefix would silently classify any
+#: future sibling module.  A new module in a mixed package must be added
+#: to one of the lattice tables by hand -- REX-S002 fails the lint run
+#: until it is.
+UNTRUSTED_MODULES: frozenset = frozenset(
+    {
+        "repro",
+        "repro.__main__",
+        "repro.cli",
+        "repro.core",
+        "repro.core.cluster",
+        "repro.core.host",
+        "repro.serve",
+        "repro.serve.report",
+        "repro.serve.server",
+        "repro.serve.workload",
+    }
+)
+
 #: Modules allowed to touch real entropy / wall-clock sources.  Only the
 #: seed-derivation helper lives here by default; crypto keygen paths use
 #: per-line suppressions with justifications instead, so every exception
@@ -159,6 +192,24 @@ def classify_module(module: str) -> Trust:
 
 def is_trusted_module(module: str) -> bool:
     return classify_module(module) is Trust.TRUSTED
+
+
+def lattice_prefix(module: str) -> "str | None":
+    """The lattice entry that claims ``module``, or ``None`` for orphans.
+
+    ``classify_module`` is total (unknown modules default to UNTRUSTED so
+    the boundary rules fail safe), but the default hides omissions: a new
+    enclave module that nobody added to :data:`TRUSTED_PREFIXES` would be
+    silently linted as host code.  This helper distinguishes *explicitly
+    placed* from *defaulted* so REX-S002 can make the omission an error.
+    """
+    for table in (TRUSTED_PREFIXES, SHARED_PREFIXES, UNTRUSTED_PREFIXES):
+        for prefix in table:
+            if module == prefix or module.startswith(prefix + "."):
+                return prefix
+    if module in UNTRUSTED_MODULES:
+        return module
+    return None
 
 
 def has_secret_token(identifier: str) -> bool:

@@ -1,26 +1,48 @@
-"""Rule base class and the registry that makes new rules one-class cheap.
+"""Rule base classes and the registry that makes new rules one-class cheap.
 
 A rule is a class with a unique ``rule_id``, a default ``severity`` and a
 ``check(ctx)`` generator over :class:`~repro.lint.findings.Finding`.
 Decorate it with :func:`register` and it participates in every lint run,
 the ``--list-rules`` catalog and the README table -- no other wiring.
+
+Two granularities exist:
+
+- :class:`Rule` sees one module at a time (``check(ctx)``) -- the
+  original per-file AST rules.
+- :class:`ProgramRule` sees the whole parsed tree at once
+  (``check_program(program)``) -- the interprocedural flow rules and
+  the lattice-coverage check, which are meaningless file-by-file.
+
+Whole-program analyses that several rules share (the taint fixpoint)
+are memoized on the :class:`Program` so five REX-F rules cost one
+analysis.
 """
 
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Type
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Type, Union
 
+from repro.lint.callgraph import ModuleInfo
 from repro.lint.classify import Trust
 from repro.lint.findings import Finding, Severity
 
-__all__ = ["LintContext", "Rule", "register", "all_rules", "rule_catalog"]
+__all__ = [
+    "LintContext",
+    "Program",
+    "Rule",
+    "ProgramRule",
+    "register",
+    "all_rules",
+    "all_program_rules",
+    "rule_catalog",
+]
 
 
 @dataclass
 class LintContext:
-    """Everything a rule sees: one parsed module plus its classification."""
+    """Everything a per-file rule sees: one parsed module + classification."""
 
     path: str
     module: str
@@ -29,8 +51,22 @@ class LintContext:
     trust: Trust
 
 
+@dataclass
+class Program:
+    """Every parsed module of one lint run, plus shared analysis results."""
+
+    modules: List[ModuleInfo] = field(default_factory=list)
+    _analyses: Dict[str, object] = field(default_factory=dict)
+
+    def analysis(self, key: str, builder: Callable[["Program"], object]) -> object:
+        """Memoize an expensive whole-program analysis under ``key``."""
+        if key not in self._analyses:
+            self._analyses[key] = builder(self)
+        return self._analyses[key]
+
+
 class Rule:
-    """Base class for one lint rule (see module docstring)."""
+    """Base class for one per-file lint rule (see module docstring)."""
 
     rule_id: str = ""
     name: str = ""
@@ -52,10 +88,22 @@ class Rule:
         )
 
 
-_REGISTRY: Dict[str, Type[Rule]] = {}
+class ProgramRule:
+    """Base class for a whole-program rule."""
+
+    rule_id: str = ""
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def check_program(self, program: Program) -> Iterator[Finding]:
+        raise NotImplementedError
 
 
-def register(cls: Type[Rule]) -> Type[Rule]:
+_REGISTRY: Dict[str, Union[Type[Rule], Type[ProgramRule]]] = {}
+
+
+def register(cls):
     """Class decorator adding a rule to the global registry."""
     if not cls.rule_id:
         raise ValueError(f"rule {cls.__name__} has no rule_id")
@@ -66,25 +114,41 @@ def register(cls: Type[Rule]) -> Type[Rule]:
 
 
 def all_rules() -> List[Rule]:
-    """Fresh instances of every registered rule, ordered by id."""
+    """Fresh instances of every registered per-file rule, ordered by id."""
     _load_rule_modules()
-    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+    return [
+        _REGISTRY[rule_id]()
+        for rule_id in sorted(_REGISTRY)
+        if issubclass(_REGISTRY[rule_id], Rule)
+    ]
+
+
+def all_program_rules() -> List[ProgramRule]:
+    """Fresh instances of every registered whole-program rule, by id."""
+    _load_rule_modules()
+    return [
+        _REGISTRY[rule_id]()
+        for rule_id in sorted(_REGISTRY)
+        if issubclass(_REGISTRY[rule_id], ProgramRule)
+    ]
 
 
 def rule_catalog() -> List[dict]:
-    """Catalog rows for ``--list-rules`` and docs."""
+    """Catalog rows for ``--list-rules`` and docs (both granularities)."""
+    _load_rule_modules()
     return [
         {
-            "id": rule.rule_id,
-            "name": rule.name,
-            "severity": str(rule.severity),
-            "description": rule.description,
+            "id": cls.rule_id,
+            "name": cls.name,
+            "severity": str(cls.severity),
+            "description": cls.description,
         }
-        for rule in all_rules()
+        for cls in (_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY))
     ]
 
 
 def _load_rule_modules() -> None:
     """Import the rule modules so their ``@register`` decorators run."""
     from repro.lint import rules_boundary, rules_crypto, rules_determinism  # noqa: F401
+    from repro.lint import rules_flow, rules_kernel  # noqa: F401
     from repro.lint import suppressions  # noqa: F401  (registers REX-S001)

@@ -2,8 +2,17 @@
 
 The runner is filesystem-light on purpose: :func:`lint_source` takes raw
 source text plus a module name, which is how the fixture self-tests
-exercise every rule without importing (or even writing) the bad code.
-:func:`lint_paths` walks real trees for the CLI and CI.
+exercise every rule without importing (or even writing) the bad code;
+:func:`lint_sources` does the same for a *set* of modules so the
+interprocedural fixtures can span files.  :func:`lint_paths` walks real
+trees for the CLI and CI.
+
+A run has two rule granularities (see :mod:`repro.lint.registry`): the
+per-file rules see one module each, the program rules (taint flow,
+lattice coverage) see the whole parsed tree.  Suppressions are applied
+exactly once per file, over the *combined* findings of both, so a
+``# repro-lint: disable=REX-F001`` works on flow findings too and
+REX-S001 cannot double-fire.
 """
 
 from __future__ import annotations
@@ -12,14 +21,29 @@ import ast
 import json
 from dataclasses import dataclass, field
 from pathlib import Path, PurePath
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.lint.baseline import Baseline
+from repro.lint.callgraph import ModuleInfo
 from repro.lint.classify import classify_module
 from repro.lint.findings import Finding, Severity
-from repro.lint.registry import LintContext, Rule, all_rules
+from repro.lint.registry import (
+    LintContext,
+    Program,
+    Rule,
+    all_program_rules,
+    all_rules,
+)
 from repro.lint.suppressions import apply_suppressions
 
-__all__ = ["LintReport", "lint_source", "lint_file", "lint_paths", "module_name_for"]
+__all__ = [
+    "LintReport",
+    "lint_source",
+    "lint_sources",
+    "lint_file",
+    "lint_paths",
+    "module_name_for",
+]
 
 #: Rule id attached to files the parser rejects.
 SYNTAX_RULE_ID = "REX-E999"
@@ -31,6 +55,7 @@ class LintReport:
 
     findings: List[Finding] = field(default_factory=list)
     files_checked: int = 0
+    baselined: int = 0
 
     @property
     def errors(self) -> int:
@@ -49,12 +74,21 @@ class LintReport:
     def sorted(self) -> List[Finding]:
         return sorted(self.findings, key=Finding.sort_key)
 
+    def apply_baseline(self, baseline: Baseline) -> None:
+        """Drop baselined findings, keeping the count for the summary."""
+        new, known = baseline.split(self.findings)
+        self.findings = new
+        self.baselined += len(known)
+
     def format_text(self) -> str:
         lines = [f.format() for f in self.sorted()]
-        lines.append(
+        summary = (
             f"checked {self.files_checked} file(s): "
             f"{self.errors} error(s), {self.warnings} warning(s)"
         )
+        if self.baselined:
+            summary += f", {self.baselined} baselined"
+        lines.append(summary)
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
@@ -64,6 +98,7 @@ class LintReport:
                 "files": self.files_checked,
                 "errors": self.errors,
                 "warnings": self.warnings,
+                "baselined": self.baselined,
             },
             "findings": [f.to_dict() for f in self.sorted()],
         }
@@ -89,6 +124,92 @@ def module_name_for(path: str) -> str:
     return PurePath(path).stem
 
 
+def _parse_module(
+    source: str, module: str, path: str
+) -> "ModuleInfo | Finding":
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return Finding(
+            rule_id=SYNTAX_RULE_ID,
+            severity=Severity.ERROR,
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1,
+            message=f"syntax error: {exc.msg}",
+        )
+    return ModuleInfo(
+        module=module,
+        path=path,
+        source=source,
+        tree=tree,
+        trust=classify_module(module),
+    )
+
+
+def _lint_program(
+    modules: List[ModuleInfo], rules: Optional[Sequence[Rule]] = None
+) -> List[Finding]:
+    """Run both rule granularities; suppressions once per file."""
+    file_rules = list(rules) if rules is not None else all_rules()
+    program_rules = all_program_rules() if rules is None else []
+
+    by_path: Dict[str, List[Finding]] = {m.path: [] for m in modules}
+    for mod in modules:
+        ctx = LintContext(
+            path=mod.path,
+            module=mod.module,
+            source=mod.source,
+            tree=mod.tree,
+            trust=mod.trust,
+        )
+        for rule in file_rules:
+            by_path[mod.path].extend(rule.check(ctx))
+
+    if program_rules:
+        program = Program(modules=list(modules))
+        for rule in program_rules:
+            for finding in rule.check_program(program):
+                by_path.setdefault(finding.path, []).append(finding)
+
+    out: List[Finding] = []
+    mod_by_path = {m.path: m for m in modules}
+    for path, findings in by_path.items():
+        mod = mod_by_path.get(path)
+        if mod is not None:
+            out.extend(
+                apply_suppressions(mod.source, findings, path, tree=mod.tree)
+            )
+        else:
+            out.extend(findings)
+    return sorted(out, key=Finding.sort_key)
+
+
+def lint_sources(
+    sources: Dict[str, str],
+    *,
+    paths: Optional[Dict[str, str]] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint a set of in-memory modules (``{module: source}``) together.
+
+    This is how the interprocedural fixtures run: taint seeded in one
+    module, sink in another.  ``paths`` optionally maps module names to
+    display paths (defaults to ``<module>``).
+    """
+    modules: List[ModuleInfo] = []
+    findings: List[Finding] = []
+    for module in sorted(sources):
+        path = (paths or {}).get(module, f"<{module}>")
+        parsed = _parse_module(sources[module], module, path)
+        if isinstance(parsed, Finding):
+            findings.append(parsed)
+        else:
+            modules.append(parsed)
+    findings.extend(_lint_program(modules, rules=rules))
+    return sorted(findings, key=Finding.sort_key)
+
+
 def lint_source(
     source: str,
     *,
@@ -97,30 +218,7 @@ def lint_source(
     rules: Optional[Sequence[Rule]] = None,
 ) -> List[Finding]:
     """Lint one source string as module ``module``; returns findings."""
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            Finding(
-                rule_id=SYNTAX_RULE_ID,
-                severity=Severity.ERROR,
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) + 1,
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
-    ctx = LintContext(
-        path=path,
-        module=module,
-        source=source,
-        tree=tree,
-        trust=classify_module(module),
-    )
-    raw: List[Finding] = []
-    for rule in rules if rules is not None else all_rules():
-        raw.extend(rule.check(ctx))
-    return sorted(apply_suppressions(source, raw, path), key=Finding.sort_key)
+    return lint_sources({module: source}, paths={module: path}, rules=rules)
 
 
 def lint_file(path: str, *, rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
@@ -130,7 +228,9 @@ def lint_file(path: str, *, rules: Optional[Sequence[Rule]] = None) -> List[Find
     )
 
 
-def lint_paths(paths: Sequence[str]) -> LintReport:
+def lint_paths(
+    paths: Sequence[str], *, baseline: Optional[Baseline] = None
+) -> LintReport:
     """Lint every ``.py`` file under the given files/directories."""
     files: List[Path] = []
     for raw in paths:
@@ -139,9 +239,19 @@ def lint_paths(paths: Sequence[str]) -> LintReport:
             files.extend(sorted(path.rglob("*.py")))
         else:
             files.append(path)
-    rules = all_rules()
+
     report = LintReport()
+    modules: List[ModuleInfo] = []
     for path in files:
-        report.extend(lint_file(str(path), rules=rules))
+        source = path.read_text(encoding="utf-8")
+        parsed = _parse_module(source, module_name_for(str(path)), str(path))
+        if isinstance(parsed, Finding):
+            report.findings.append(parsed)
+        else:
+            modules.append(parsed)
         report.files_checked += 1
+
+    report.extend(_lint_program(modules))
+    if baseline is not None:
+        report.apply_baseline(baseline)
     return report

@@ -1,0 +1,114 @@
+"""SARIF 2.1.0 output so findings surface in GitHub code scanning.
+
+One run, one tool (``repro-lint``), every registered rule in the
+driver's rule table, every finding as a result with a physical
+location; flow findings additionally carry their source->sink witness
+path as a ``codeFlow``.  The document is deterministic: rules sorted by
+id, results in the report's canonical order, keys sorted by the JSON
+encoder, and the tool version pinned independently of the library
+version so golden fixtures do not churn on release bumps.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import PurePath
+from typing import List
+
+from repro.lint.findings import Finding, Severity
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA", "TOOL_VERSION", "to_sarif", "format_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+#: Pinned separately from repro.__version__ on purpose (see docstring).
+TOOL_VERSION = "1.0.0"
+
+_LEVELS = {Severity.WARNING: "warning", Severity.ERROR: "error"}
+
+
+def _uri(path: str) -> str:
+    return PurePath(path).as_posix()
+
+
+def _location(path: str, line: int, col: int, message: str = "") -> dict:
+    loc = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": _uri(path)},
+            "region": {"startColumn": col, "startLine": line},
+        }
+    }
+    if message:
+        loc["message"] = {"text": message}
+    return loc
+
+
+def _result(finding: Finding, rule_index: dict) -> dict:
+    result = {
+        "ruleId": finding.rule_id,
+        "level": _LEVELS.get(finding.severity, "warning"),
+        "message": {"text": finding.message},
+        "locations": [_location(finding.path, finding.line, finding.col)],
+    }
+    if finding.rule_id in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule_id]
+    if finding.flow:
+        result["codeFlows"] = [
+            {
+                "threadFlows": [
+                    {
+                        "locations": [
+                            {
+                                "location": _location(
+                                    step.path, step.line, 1, step.note
+                                )
+                            }
+                            for step in finding.flow
+                        ]
+                    }
+                ]
+            }
+        ]
+    return result
+
+
+def to_sarif(findings: List[Finding], catalog: List[dict]) -> dict:
+    """Build the SARIF document from sorted findings + the rule catalog."""
+    rules = [
+        {
+            "id": row["id"],
+            "name": row["name"],
+            "shortDescription": {"text": row["description"]},
+            "defaultConfiguration": {
+                "level": "error" if row["severity"] == "error" else "warning"
+            },
+        }
+        for row in catalog
+    ]
+    rule_index = {row["id"]: i for i, row in enumerate(catalog)}
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://github.com/repro/repro#static-analysis"
+                        ),
+                        "semanticVersion": TOOL_VERSION,
+                        "rules": rules,
+                    }
+                },
+                "results": [_result(f, rule_index) for f in findings],
+            }
+        ],
+    }
+
+
+def format_sarif(findings: List[Finding], catalog: List[dict]) -> str:
+    return json.dumps(to_sarif(findings, catalog), indent=2, sort_keys=True)

@@ -2,19 +2,28 @@
 
 A suppression comment silences the named rules on its own line; the
 ``disable-next-line`` form targets the following line (useful when the
-offending statement has no room for a trailing comment).  Every
-suppression must actually silence something: entries that match no
-finding are themselves reported as ``REX-S001`` warnings so dead
+offending statement has no room for a trailing comment).  When the
+targeted line belongs to a *multi-line simple statement* (a call
+wrapped over several lines, a parenthesized return ...), the directive
+covers every line of that statement -- rules anchor findings at
+sub-expression lines, and which line that is should not decide whether
+a suppression works.  Compound statements (``if``/``for``/``with``)
+are deliberately not expanded: a directive on the header must not
+silence the whole body.
+
+Every suppression must actually silence something: entries that match
+no finding are themselves reported as ``REX-S001`` warnings so dead
 exceptions cannot accumulate.
 """
 
 from __future__ import annotations
 
+import ast
 import io
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.lint.findings import Finding, Severity
 from repro.lint.registry import LintContext, Rule, register
@@ -42,12 +51,35 @@ class UnusedSuppressionRule(Rule):
 @dataclass
 class _Entry:
     comment_line: int
-    target_line: int
+    target_lines: Tuple[int, ...]
     rule_ids: Tuple[str, ...]
     used: Set[str] = field(default_factory=set)
 
 
-def parse_suppressions(source: str) -> List[_Entry]:
+def _statement_spans(tree: Optional[ast.AST]) -> List[Tuple[int, int]]:
+    """``(start, end)`` line spans of multi-line *simple* statements."""
+    if tree is None:
+        return []
+    spans: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt) or hasattr(node, "body"):
+            continue  # compound statements keep line-exact semantics
+        end = getattr(node, "end_lineno", None)
+        if end is not None and end > node.lineno:
+            spans.append((node.lineno, end))
+    return spans
+
+
+def _expand_target(line: int, spans: List[Tuple[int, int]]) -> Tuple[int, ...]:
+    for start, end in spans:
+        if start <= line <= end:
+            return tuple(range(start, end + 1))
+    return (line,)
+
+
+def parse_suppressions(
+    source: str, tree: Optional[ast.AST] = None
+) -> List[_Entry]:
     """Extract directives from actual ``#`` comments (tokenize-based, so
     directive syntax quoted inside docstrings is never misread)."""
     entries: List[_Entry] = []
@@ -55,6 +87,12 @@ def parse_suppressions(source: str) -> List[_Entry]:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
     except (tokenize.TokenError, IndentationError, SyntaxError):
         return entries
+    if tree is None:
+        try:
+            tree = ast.parse(source)
+        except SyntaxError:
+            tree = None
+    spans = _statement_spans(tree)
     for token in tokens:
         if token.type != tokenize.COMMENT:
             continue
@@ -67,18 +105,22 @@ def parse_suppressions(source: str) -> List[_Entry]:
         )
         lineno = token.start[0]
         target = lineno + 1 if directive == "disable-next-line" else lineno
-        entries.append(_Entry(lineno, target, rule_ids))
+        entries.append(_Entry(lineno, _expand_target(target, spans), rule_ids))
     return entries
 
 
 def apply_suppressions(
-    source: str, findings: List[Finding], path: str
+    source: str,
+    findings: List[Finding],
+    path: str,
+    tree: Optional[ast.AST] = None,
 ) -> List[Finding]:
     """Filter suppressed findings; append REX-S001 for unused entries."""
-    entries = parse_suppressions(source)
+    entries = parse_suppressions(source, tree)
     by_line: Dict[int, List[_Entry]] = {}
     for entry in entries:
-        by_line.setdefault(entry.target_line, []).append(entry)
+        for line in entry.target_lines:
+            by_line.setdefault(line, []).append(entry)
 
     kept: List[Finding] = []
     for finding in findings:

@@ -1,0 +1,95 @@
+"""Property tests for the trust lattice.
+
+Two obligations back the REX-S002 coverage rule:
+
+- ``classify_module`` is *total and deterministic*: any dotted name
+  classifies, always to the same value, and the value agrees with the
+  table ``lattice_prefix`` says claimed it.
+- the lattice *covers the real tree*: every module shipped under
+  ``src/repro`` is explicitly placed (no module rides the
+  fail-safe UNTRUSTED default).
+"""
+
+from pathlib import Path
+
+import pytest
+from hypothesis import given, strategies as st
+
+import repro
+from repro.lint import classify_module, lattice_prefix, module_name_for
+from repro.lint.classify import (
+    SHARED_PREFIXES,
+    TRUSTED_PREFIXES,
+    Trust,
+    UNTRUSTED_MODULES,
+    UNTRUSTED_PREFIXES,
+)
+
+SRC_REPRO = Path(repro.__file__).parent
+
+REAL_MODULES = sorted(
+    module_name_for(str(p)) for p in SRC_REPRO.rglob("*.py")
+)
+
+_segment = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,12}", fullmatch=True)
+_dotted = st.lists(_segment, min_size=1, max_size=6).map(".".join)
+_anchored = st.lists(_segment, min_size=0, max_size=4).map(
+    lambda parts: ".".join(["repro"] + parts)
+)
+_prefixed = st.sampled_from(
+    TRUSTED_PREFIXES + SHARED_PREFIXES + UNTRUSTED_PREFIXES
+).flatmap(
+    lambda prefix: st.lists(_segment, min_size=0, max_size=3).map(
+        lambda parts: ".".join([prefix] + parts)
+    )
+)
+module_names = st.one_of(_dotted, _anchored, _prefixed)
+
+
+class TestClassifyTotalDeterministic:
+    @given(module_names)
+    def test_total_and_deterministic(self, module):
+        first = classify_module(module)
+        assert isinstance(first, Trust)
+        assert classify_module(module) is first
+
+    @given(module_names)
+    def test_agrees_with_lattice_prefix(self, module):
+        prefix = lattice_prefix(module)
+        trust = classify_module(module)
+        if prefix in TRUSTED_PREFIXES:
+            assert trust is Trust.TRUSTED
+        elif prefix in SHARED_PREFIXES:
+            assert trust is Trust.SHARED
+        elif prefix is not None:
+            assert trust is Trust.UNTRUSTED
+        else:
+            # orphans fail safe: defaulted, never trusted
+            assert trust is Trust.UNTRUSTED
+
+    @given(module_names)
+    def test_prefix_claims_are_real_prefixes(self, module):
+        prefix = lattice_prefix(module)
+        if prefix is None:
+            return
+        assert module == prefix or module.startswith(prefix + ".")
+
+    @given(st.sampled_from(sorted(UNTRUSTED_MODULES)))
+    def test_exact_modules_do_not_claim_submodules(self, module):
+        # UNTRUSTED_MODULES entries are exact: a child of a mixed package
+        # must be placed on its own (that is the point of REX-S002)
+        assert lattice_prefix(module) == module
+        child = module + ".brand_new_child"
+        prefix = lattice_prefix(child)
+        assert prefix != module
+
+
+class TestLatticeCoversRealTree:
+    def test_tree_is_non_trivial(self):
+        assert len(REAL_MODULES) > 50
+
+    @pytest.mark.parametrize("module", REAL_MODULES)
+    def test_every_real_module_is_placed(self, module):
+        assert lattice_prefix(module) is not None, (
+            f"{module} is not placed in the trust lattice"
+        )

@@ -1,0 +1,72 @@
+"""SARIF 2.1.0 output: structure, code flows, golden fixture."""
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.lint import format_sarif, lint_sources, rule_catalog
+from repro.lint.sarif import SARIF_SCHEMA, SARIF_VERSION, TOOL_VERSION
+
+GOLDEN = Path(__file__).parent / "golden" / "flow_leak.sarif.json"
+
+LEAK_FIXTURE = {
+    "repro.core.app.fixture": textwrap.dedent(
+        """\
+        class Node:
+            def __init__(self, enclave, store):
+                self.enclave = enclave
+                self.store = store
+
+            def publish(self):
+                batch = self.store.sample(32)
+                self.enclave.ocall("report_stats", batch)
+        """
+    )
+}
+
+
+def leak_sarif_text():
+    findings = lint_sources(LEAK_FIXTURE)
+    return format_sarif(findings, rule_catalog())
+
+
+class TestSarifDocument:
+    def test_header_and_tool(self):
+        doc = json.loads(leak_sarif_text())
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        assert doc["$schema"] == SARIF_SCHEMA
+        driver = doc["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        assert driver["semanticVersion"] == TOOL_VERSION
+
+    def test_every_registered_rule_is_listed(self):
+        doc = json.loads(leak_sarif_text())
+        listed = {r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]}
+        expected = {row["id"] for row in rule_catalog()}
+        assert listed == expected
+        for family in ("REX-F001", "REX-F005", "REX-K001", "REX-S002"):
+            assert family in listed
+
+    def test_flow_finding_carries_code_flow(self):
+        doc = json.loads(leak_sarif_text())
+        results = doc["runs"][0]["results"]
+        assert [r["ruleId"] for r in results] == ["REX-F002"]
+        result = results[0]
+        assert result["level"] == "error"
+        locations = result["codeFlows"][0]["threadFlows"][0]["locations"]
+        assert len(locations) >= 2
+        first = locations[0]["location"]
+        last = locations[-1]["location"]
+        assert "source" in first["message"]["text"]
+        assert "sink" in last["message"]["text"]
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 8
+
+    def test_matches_golden_fixture(self):
+        # regenerate with:
+        #   python -c "from tests.lint.test_sarif import *; \
+        #       GOLDEN.write_text(leak_sarif_text() + '\n')"
+        assert leak_sarif_text() + "\n" == GOLDEN.read_text()
+
+    def test_byte_identical_across_runs(self):
+        assert leak_sarif_text() == leak_sarif_text()

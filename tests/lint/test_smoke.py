@@ -6,7 +6,13 @@ from pathlib import Path
 
 import repro
 from repro.cli import main
-from repro.lint import all_rules, lint_paths, module_name_for, rule_catalog
+from repro.lint import (
+    all_program_rules,
+    all_rules,
+    lint_paths,
+    module_name_for,
+    rule_catalog,
+)
 
 SRC_REPRO = str(Path(repro.__file__).parent)
 
@@ -26,10 +32,26 @@ class TestRegistry:
         assert len(ids) == len(set(ids))
         assert len([i for i in ids if i != "REX-S001"]) >= 8
 
+    def test_program_rules_cover_flow_and_coverage(self):
+        ids = [rule.rule_id for rule in all_program_rules()]
+        assert len(ids) == len(set(ids))
+        for rule_id in ("REX-F001", "REX-F002", "REX-F003", "REX-F004",
+                       "REX-F005", "REX-S002"):
+            assert rule_id in ids
+
+    def test_kernel_rules_registered(self):
+        ids = [rule.rule_id for rule in all_rules()]
+        for rule_id in ("REX-K001", "REX-K002", "REX-K003"):
+            assert rule_id in ids
+
     def test_catalog_rows_are_complete(self):
         for row in rule_catalog():
             assert row["id"] and row["name"] and row["description"]
             assert row["severity"] in ("error", "warning")
+
+    def test_catalog_spans_both_granularities(self):
+        ids = {row["id"] for row in rule_catalog()}
+        assert {"REX-B001", "REX-F001", "REX-K001", "REX-S002"} <= ids
 
 
 class TestModuleNames:
@@ -73,5 +95,44 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("REX-B001", "REX-C001", "REX-D001", "REX-S001"):
+        for rule_id in ("REX-B001", "REX-C001", "REX-D001", "REX-S001",
+                        "REX-F001", "REX-K001", "REX-S002"):
             assert rule_id in out
+
+    def test_sarif_output(self, capsys, tmp_path):
+        out_file = tmp_path / "lint.sarif"
+        assert main(["lint", SRC_REPRO, "--format", "sarif",
+                     "--output", str(out_file)]) == 0
+        doc = json.loads(out_file.read_text())
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"] == []
+        assert doc["runs"][0]["tool"]["driver"]["name"] == "repro-lint"
+
+
+class TestCliBaseline:
+    def test_committed_baseline_is_empty(self):
+        repo_root = Path(__file__).resolve().parents[2]
+        doc = json.loads((repo_root / "lint-baseline.json").read_text())
+        assert doc == {"entries": [], "version": 1}
+
+    def test_ratchet_round_trip(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nstart = time.time()\n")
+        baseline = tmp_path / "baseline.json"
+        # 1. the finding fails the run
+        assert main(["lint", str(bad)]) == 1
+        # 2. record it as known debt
+        assert main(["lint", str(bad), "--baseline", str(baseline),
+                     "--write-baseline"]) == 0
+        assert "1 baselined finding(s)" in capsys.readouterr().out
+        # 3. baselined run passes, reporting the debt count
+        assert main(["lint", str(bad), "--baseline", str(baseline)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+        # 4. a *new* finding still fails (the ratchet)
+        bad.write_text(
+            "import time, os\nstart = time.time()\nkey = os.urandom(32)\n"
+        )
+        assert main(["lint", str(bad), "--baseline", str(baseline)]) == 1
+
+    def test_write_baseline_requires_path(self, capsys):
+        assert main(["lint", SRC_REPRO, "--write-baseline"]) == 2

@@ -70,3 +70,61 @@ class TestSuppression:
             return 1
         '''
         assert run(src) == []
+
+
+class TestMultiLineStatements:
+    """A directive anywhere on a multi-line *simple* statement covers
+    every line of that statement."""
+
+    def test_directive_on_closing_line_covers_inner_finding(self):
+        src = """\
+        import time
+        stamp = {
+            "t": time.time(),
+        }  # repro-lint: disable=REX-D001
+        """
+        assert run(src) == []
+
+    def test_directive_on_first_line_covers_later_finding(self):
+        src = """\
+        import time
+        stamp = dict(  # repro-lint: disable=REX-D001
+            a=1,
+            t=time.time(),
+        )
+        """
+        assert run(src) == []
+
+    def test_disable_next_line_covers_whole_statement(self):
+        src = """\
+        import time
+        # repro-lint: disable-next-line=REX-D001
+        stamp = {
+            "a": 1,
+            "t": time.time(),
+        }
+        """
+        assert run(src) == []
+
+    def test_compound_statement_is_not_blanket_suppressed(self):
+        # the span expansion applies to simple statements only: a
+        # directive on a for-header must not silence the loop body
+        src = """\
+        import time
+        for i in (  # repro-lint: disable=REX-D001
+            0,
+            1,
+        ):
+            x = time.time()
+        """
+        findings = run(src)
+        assert "REX-D001" in [f.rule_id for f in findings]
+
+    def test_unused_directive_on_multiline_statement_still_reported(self):
+        src = """\
+        stamp = {
+            "a": 1,
+        }  # repro-lint: disable=REX-D001
+        """
+        findings = run(src)
+        assert [f.rule_id for f in findings] == ["REX-S001"]
