@@ -25,17 +25,24 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro._rng import child_rng, stream_seed
-from repro.core.channel import AccountedChannel, PlaintextChannel, ReplayError, SecureChannel
+from repro.core.channel import (
+    AccountedChannel,
+    PlaintextChannel,
+    ReplayError,
+    SecureChannel,
+    seal_all,
+)
 from repro.core.config import CryptoMode, Dissemination, ModelKind, RexConfig, SharingScheme
 from repro.core.messages import (
     CONTENT_DNN_MODEL,
     CONTENT_EMPTY,
     CONTENT_MF_MODEL,
     CONTENT_TRIPLETS,
+    HEADER_BYTES,
     KIND_PAYLOAD,
     KIND_QUOTE,
     PayloadHeader,
-    pack_payload,
+    payload_buffer,
     unpack_payload,
 )
 from repro.core.stats import EpochStats
@@ -46,9 +53,12 @@ from repro.net.serialization import (
     decode_dnn_state,
     decode_mf_state,
     decode_triplets,
-    encode_dnn_state,
-    encode_mf_state,
-    encode_triplets,
+    encode_dnn_state_into,
+    encode_mf_state_into,
+    encode_triplets_into,
+    measure_dnn_state,
+    measure_mf_state,
+    measure_triplets,
 )
 from repro.net.serialization import CodecError
 from repro.tee.attestation import MutualAttestation, Quote
@@ -387,7 +397,10 @@ class RexEnclaveApp(TrustedApp):
                 return
             raise ChannelNotEstablished(f"payload from unattested peer {src}")
         try:
-            plaintext = channel.open(bytes(blob))
+            # ``blob`` may be the sender's own frame buffer (a read-only
+            # memoryview riding the in-process transport); ``open`` takes
+            # any bytes-like zero-copy, so no defensive copy is made here.
+            plaintext = channel.open(blob)
         except ReplayError:
             if tolerant:
                 self._count_fault("faults.recovered", kind="replay")
@@ -574,32 +587,55 @@ class RexEnclaveApp(TrustedApp):
             targets = list(self.neighbors)
         if not targets:
             return
+        # The full payload is assembled in one preallocated buffer: the
+        # header is packed in place and the content serialized directly
+        # after it (``encode_*_into``), so the plaintext a channel seals
+        # was written exactly once -- no header+content join, no
+        # intermediate row arrays.
         if self.config.scheme is SharingScheme.DATA:
             sample = self.store.sample(self.config.share_points, self.local_rng)
-            content = encode_triplets(sample)
             content_kind = CONTENT_TRIPLETS
             stats.share_sampled_items = len(sample)
+            header_full = PayloadHeader(self.node_id, self.epoch, self.degree, content_kind)
+            packed_full, content_offset = payload_buffer(
+                header_full, measure_triplets(len(sample))
+            )
+            encode_triplets_into(sample, packed_full, content_offset)
         else:
             state = self.model.state()
+            header_full = PayloadHeader(
+                self.node_id,
+                self.epoch,
+                self.degree,
+                CONTENT_MF_MODEL if self.config.model is ModelKind.MF else CONTENT_DNN_MODEL,
+            )
+            seen_users = int(np.count_nonzero(state.user_seen))
+            seen_items = int(np.count_nonzero(state.item_seen))
             if self.config.model is ModelKind.MF:
                 wire_dtype = "<f8" if self.config.mf.np_dtype == np.float64 else "<f4"
-                content = encode_mf_state(state, wire_dtype=wire_dtype)
+                float_bytes = 8 if wire_dtype == "<f8" else 4
+                packed_full, content_offset = payload_buffer(
+                    header_full,
+                    measure_mf_state(seen_users, seen_items, state.k, float_bytes=float_bytes),
+                )
+                encode_mf_state_into(state, packed_full, content_offset, wire_dtype=wire_dtype)
             else:
-                content = encode_dnn_state(state)
-            content_kind = CONTENT_MF_MODEL if self.config.model is ModelKind.MF else CONTENT_DNN_MODEL
-        stats.serialized_bytes += len(content)
+                packed_full, content_offset = payload_buffer(
+                    header_full,
+                    measure_dnn_state(seen_users, seen_items, state.k, state.mlp_params.size),
+                )
+                encode_dnn_state_into(state, packed_full, content_offset)
+        stats.serialized_bytes += len(packed_full) - HEADER_BYTES
 
         if self.config.dissemination is Dissemination.RMW:
             chosen = int(targets[self.local_rng.integers(0, len(targets))])
         else:
             chosen = None  # broadcast
 
-        header_full = PayloadHeader(self.node_id, self.epoch, self.degree, content_kind)
         header_empty = PayloadHeader(self.node_id, self.epoch, self.degree, CONTENT_EMPTY)
-        # Both payload variants are loop-invariant: a DPSGD broadcast packs
-        # the (potentially large) full payload once, not once per neighbor.
-        packed_full = pack_payload(header_full, content)
-        packed_empty = pack_payload(header_empty, b"")  # RMW barrier: header only
+        # RMW barrier message: header only.
+        packed_empty, _ = payload_buffer(header_empty, 0)
+        entries = []
         for neighbor in targets:
             if chosen is None or neighbor == chosen:
                 plaintext = packed_full
@@ -607,12 +643,19 @@ class RexEnclaveApp(TrustedApp):
             else:
                 plaintext = packed_empty
                 stats.shared_empty_messages += 1
-            channel = self.channels[neighbor]
-            sealed_before = channel.sealed_bytes
-            wire = channel.seal(plaintext)
+            entries.append((self.channels[neighbor], plaintext, b""))
+        sealed_before = [channel.sealed_bytes for channel, _, _ in entries]
+        # One batch seals the whole epoch's fan-out: every neighbor's
+        # payload runs through a single lane-kernel (or native AEAD)
+        # invocation, and each frame leaves here as the same buffer the
+        # ciphertext was written into -- no per-neighbor re-join.
+        wires = seal_all(entries)
+        for (channel, _, _), before, neighbor, wire in zip(
+            entries, sealed_before, targets, wires
+        ):
             # The channel layer is the accounting source of record for
             # wire bytes; read its counter instead of re-measuring.
-            stats.shared_payload_bytes += channel.sealed_bytes - sealed_before
+            stats.shared_payload_bytes += channel.sealed_bytes - before
             self.ctx.ocall("send_message", neighbor, KIND_PAYLOAD, wire)
 
     # ------------------------------------------------------------------ #

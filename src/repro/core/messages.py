@@ -27,6 +27,7 @@ __all__ = [
     "CONTENT_DNN_MODEL",
     "PayloadHeader",
     "pack_payload",
+    "payload_buffer",
     "unpack_payload",
 ]
 
@@ -54,6 +55,16 @@ class PayloadHeader:
     def pack(self) -> bytes:
         return _HEADER.pack(self.sender, self.epoch, self.degree, self.content)
 
+    def pack_into(self, buf, offset: int = 0) -> int:
+        """Write the header into ``buf`` at ``offset``; returns the end.
+
+        The join-free counterpart of :meth:`pack`, used when the whole
+        plaintext (header + encoded content) is assembled in one
+        preallocated buffer that the seal path then consumes zero-copy.
+        """
+        _HEADER.pack_into(buf, offset, self.sender, self.epoch, self.degree, self.content)
+        return offset + HEADER_BYTES
+
     @classmethod
     def unpack(cls, raw: bytes) -> "PayloadHeader":
         sender, epoch, degree, content = _HEADER.unpack_from(raw, 0)
@@ -63,6 +74,20 @@ class PayloadHeader:
 def pack_payload(header: PayloadHeader, content: bytes) -> bytes:
     """Header + content, the plaintext a channel seals."""
     return header.pack() + content
+
+
+def payload_buffer(header: PayloadHeader, content_size: int) -> tuple:
+    """Preallocate one plaintext frame: header written, content span open.
+
+    Returns ``(buf, content_offset)`` where ``buf`` is a bytearray of
+    ``HEADER_BYTES + content_size`` with the header already packed; the
+    caller serializes content directly into ``buf`` from
+    ``content_offset`` (e.g. via the ``encode_*_into`` codec writers), so
+    header and content are never joined after the fact.
+    """
+    buf = bytearray(HEADER_BYTES + content_size)
+    header.pack_into(buf, 0)
+    return buf, HEADER_BYTES
 
 
 def unpack_payload(plaintext: bytes) -> tuple:

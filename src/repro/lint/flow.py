@@ -137,6 +137,9 @@ _SANITIZER_FUNCS = frozenset(
         "bool",
         "id",
         "range",
+        # aggregate projection, same category as the ``sum`` method:
+        # seen-row counts sizing a wire buffer are sanctioned exports
+        "count_nonzero",
         "sha256",
         "sha384",
         "sha512",
@@ -146,6 +149,13 @@ _SANITIZER_FUNCS = frozenset(
         # points for the encoded bytes are audited by the boundary rules)
         "encode_triplets",
         "encode_snapshot",
+        # the batch AEAD seal: like the ``seal`` method, frames leaving
+        # these entry points are ciphertext (or the declared-accounted/
+        # plaintext channel modes, which share the call site and the
+        # audit story of the single-message path)
+        "seal_all",
+        "seal_many",
+        "seal_many_into",
         # the serving declassifier: released item ids + scores
         "batched_top_k",
     }

@@ -33,12 +33,15 @@ from repro.ml.mf import MfState
 
 __all__ = [
     "encode_triplets",
+    "encode_triplets_into",
     "decode_triplets",
     "measure_triplets",
     "encode_mf_state",
+    "encode_mf_state_into",
     "decode_mf_state",
     "measure_mf_state",
     "encode_dnn_state",
+    "encode_dnn_state_into",
     "decode_dnn_state",
     "measure_dnn_state",
 ]
@@ -60,17 +63,32 @@ def measure_triplets(count: int) -> int:
     return 16 + 12 * count
 
 
-def encode_triplets(data: RatingsDataset) -> bytes:
-    header = _TRIPLET_MAGIC + struct.pack("<III", len(data), data.n_users, data.n_items)
+def encode_triplets_into(data: RatingsDataset, buf, offset: int = 0) -> int:
+    """Write a triplet payload into ``buf`` at ``offset``; returns the end.
+
+    ``buf`` is any writable bytes-like (typically the content span of a
+    preallocated plaintext frame, so the payload is serialized exactly
+    once and never re-joined).  Sized by :func:`measure_triplets`.
+    """
+    view = memoryview(buf)
+    count = len(data)
+    view[offset : offset + 4] = _TRIPLET_MAGIC
+    struct.pack_into("<III", view, offset + 4, count, data.n_users, data.n_items)
     # Ratings are bit-cast to i4 so one contiguous (count, 3) i4 buffer
     # holds the whole payload; decode reverses the cast.
-    body = np.empty((len(data), 3), dtype="<i4")
+    body = np.frombuffer(view, dtype="<i4", count=count * 3, offset=offset + 16)
+    body = body.reshape(count, 3)
     body[:, 0] = data.users
     body[:, 1] = data.items
     body[:, 2] = np.ascontiguousarray(data.ratings, dtype="<f4").view("<i4")
-    encoded = header + body.tobytes()
-    assert len(encoded) == measure_triplets(len(data))
-    return encoded
+    return offset + measure_triplets(count)
+
+
+def encode_triplets(data: RatingsDataset) -> bytes:
+    buf = bytearray(measure_triplets(len(data)))
+    end = encode_triplets_into(data, buf)
+    assert end == len(buf)
+    return bytes(buf)
 
 
 def decode_triplets(payload: bytes) -> RatingsDataset:
@@ -96,10 +114,13 @@ def measure_mf_state(seen_users: int, seen_items: int, k: int, *, float_bytes: i
     return header + (seen_users + seen_items) * per_row
 
 
-def encode_mf_state(state: MfState, *, wire_dtype: str = "<f4") -> bytes:
-    """Encode seen rows only.  ``wire_dtype`` is ``"<f4"`` for the float32
-    simulator wire or ``"<f8"`` for the distributed runtime's Eigen-style
-    double wire; the header records which was used (1 bit of the k word).
+def encode_mf_state_into(state: MfState, buf, offset: int = 0, *, wire_dtype: str = "<f4") -> int:
+    """Write an MF model payload into ``buf`` at ``offset``; returns the end.
+
+    Seen rows are gathered straight into views of the destination buffer,
+    so the (potentially multi-hundred-kilobyte) row blocks are written
+    exactly once -- no intermediate row arrays, no join.  Sized by
+    :func:`measure_mf_state`.
     """
     if wire_dtype not in ("<f4", "<f8"):
         raise CodecError("wire_dtype must be <f4 or <f8")
@@ -108,8 +129,12 @@ def encode_mf_state(state: MfState, *, wire_dtype: str = "<f4") -> bytes:
     item_ids = np.flatnonzero(state.item_seen).astype("<i4")
     k = state.k
     k_word = k | (0x80000000 if float_bytes == 8 else 0)
-    header = _MF_MAGIC + struct.pack(
+    view = memoryview(buf)
+    view[offset : offset + 4] = _MF_MAGIC
+    struct.pack_into(
         "<fIIIII",
+        view,
+        offset + 4,
         state.global_mean,
         k_word,
         state.user_factors.shape[0],
@@ -117,19 +142,36 @@ def encode_mf_state(state: MfState, *, wire_dtype: str = "<f4") -> bytes:
         len(user_ids),
         len(item_ids),
     )
-    user_rows = np.empty((len(user_ids), k + 1), dtype=wire_dtype)
-    user_rows[:, :k] = state.user_factors[user_ids]
-    user_rows[:, k] = state.user_bias[user_ids]
-    item_rows = np.empty((len(item_ids), k + 1), dtype=wire_dtype)
-    item_rows[:, :k] = state.item_factors[item_ids]
-    item_rows[:, k] = state.item_bias[item_ids]
-    encoded = b"".join(
-        (header, user_ids.tobytes(), user_rows.tobytes(), item_ids.tobytes(), item_rows.tobytes())
-    )
-    assert len(encoded) == measure_mf_state(
-        len(user_ids), len(item_ids), k, float_bytes=float_bytes
-    )
-    return encoded
+    cursor = offset + 4 + 4 + 5 * 4
+
+    def write_block(ids: np.ndarray, factors, bias, pos: int) -> int:
+        id_dest = np.frombuffer(view, dtype="<i4", count=len(ids), offset=pos)
+        id_dest[:] = ids
+        pos += id_dest.nbytes
+        rows = np.frombuffer(view, dtype=wire_dtype, count=len(ids) * (k + 1), offset=pos)
+        rows = rows.reshape(len(ids), k + 1)
+        rows[:, :k] = factors[ids]
+        rows[:, k] = bias[ids]
+        return pos + rows.nbytes
+
+    cursor = write_block(user_ids, state.user_factors, state.user_bias, cursor)
+    cursor = write_block(item_ids, state.item_factors, state.item_bias, cursor)
+    expected = offset + measure_mf_state(len(user_ids), len(item_ids), k, float_bytes=float_bytes)
+    assert cursor == expected
+    return cursor
+
+
+def encode_mf_state(state: MfState, *, wire_dtype: str = "<f4") -> bytes:
+    """Encode seen rows only.  ``wire_dtype`` is ``"<f4"`` for the float32
+    simulator wire or ``"<f8"`` for the distributed runtime's Eigen-style
+    double wire; the header records which was used (1 bit of the k word).
+    """
+    seen_users = int(np.count_nonzero(state.user_seen))
+    seen_items = int(np.count_nonzero(state.item_seen))
+    float_bytes = 4 if wire_dtype == "<f4" else 8
+    buf = bytearray(measure_mf_state(seen_users, seen_items, state.k, float_bytes=float_bytes))
+    encode_mf_state_into(state, buf, wire_dtype=wire_dtype)
+    return bytes(buf)
 
 
 def decode_mf_state(payload: bytes) -> MfState:
@@ -180,12 +222,21 @@ def measure_dnn_state(seen_users: int, seen_items: int, k: int, mlp_len: int) ->
     return header + (seen_users + seen_items) * per_row + mlp_len * 4
 
 
-def encode_dnn_state(state: DnnState) -> bytes:
+def encode_dnn_state_into(state: DnnState, buf, offset: int = 0) -> int:
+    """Write a DNN model payload into ``buf`` at ``offset``; returns the end.
+
+    Same single-write contract as :func:`encode_mf_state_into`; sized by
+    :func:`measure_dnn_state`.
+    """
     user_ids = np.flatnonzero(state.user_seen).astype("<i4")
     item_ids = np.flatnonzero(state.item_seen).astype("<i4")
     k = state.k
-    header = _DNN_MAGIC + struct.pack(
+    view = memoryview(buf)
+    view[offset : offset + 4] = _DNN_MAGIC
+    struct.pack_into(
         "<IIIIII",
+        view,
+        offset + 4,
         k,
         state.user_embeddings.shape[0],
         state.item_embeddings.shape[0],
@@ -193,18 +244,32 @@ def encode_dnn_state(state: DnnState) -> bytes:
         len(item_ids),
         state.mlp_params.size,
     )
-    encoded = b"".join(
-        (
-            header,
-            user_ids.tobytes(),
-            np.ascontiguousarray(state.user_embeddings[user_ids], dtype="<f4").tobytes(),
-            item_ids.tobytes(),
-            np.ascontiguousarray(state.item_embeddings[item_ids], dtype="<f4").tobytes(),
-            np.ascontiguousarray(state.mlp_params, dtype="<f4").tobytes(),
-        )
-    )
-    assert len(encoded) == measure_dnn_state(len(user_ids), len(item_ids), k, state.mlp_params.size)
-    return encoded
+    cursor = offset + 4 + 6 * 4
+
+    def write_block(ids: np.ndarray, embeddings, pos: int) -> int:
+        id_dest = np.frombuffer(view, dtype="<i4", count=len(ids), offset=pos)
+        id_dest[:] = ids
+        pos += id_dest.nbytes
+        rows = np.frombuffer(view, dtype="<f4", count=len(ids) * k, offset=pos)
+        rows.reshape(len(ids), k)[:] = embeddings[ids]
+        return pos + rows.nbytes
+
+    cursor = write_block(user_ids, state.user_embeddings, cursor)
+    cursor = write_block(item_ids, state.item_embeddings, cursor)
+    mlp_dest = np.frombuffer(view, dtype="<f4", count=state.mlp_params.size, offset=cursor)
+    mlp_dest[:] = state.mlp_params
+    cursor += mlp_dest.nbytes
+    expected = offset + measure_dnn_state(len(user_ids), len(item_ids), k, state.mlp_params.size)
+    assert cursor == expected
+    return cursor
+
+
+def encode_dnn_state(state: DnnState) -> bytes:
+    seen_users = int(np.count_nonzero(state.user_seen))
+    seen_items = int(np.count_nonzero(state.item_seen))
+    buf = bytearray(measure_dnn_state(seen_users, seen_items, state.k, state.mlp_params.size))
+    encode_dnn_state_into(state, buf)
+    return bytes(buf)
 
 
 def decode_dnn_state(payload: bytes) -> DnnState:

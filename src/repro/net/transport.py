@@ -41,7 +41,13 @@ __all__ = ["Message", "Fate", "RetryPolicy", "Endpoint", "Network"]
 
 @dataclass(frozen=True)
 class Message:
-    """One delivered payload."""
+    """One delivered payload.
+
+    ``payload`` is any read-only bytes-like object.  Sealed frames arrive
+    as read-only memoryviews of the sender's frame buffer (the zero-copy
+    contract of the batched seal path); consumers that need an owned copy
+    -- e.g. the corruption fault hook -- take it explicitly.
+    """
 
     source: int
     destination: int
@@ -110,8 +116,18 @@ class Endpoint:
         self._inbox: Deque[Message] = deque()
 
     def send(self, destination: int, payload: bytes, *, kind: str = "data") -> None:
-        """Queue ``payload`` for ``destination`` (counted, in-order)."""
-        self._network._submit(Message(self.node_id, destination, kind, bytes(payload)))
+        """Queue ``payload`` for ``destination`` (counted, in-order).
+
+        Immutable bytes-like payloads (``bytes``, read-only memoryviews
+        from the batch-seal path) ride through untouched -- the frame a
+        seal wrote is the frame the receiver opens.  Writable buffers are
+        wrapped in a read-only view so no copy is made yet nobody
+        downstream can mutate in-flight bytes.
+        """
+        if not isinstance(payload, bytes):
+            view = payload if isinstance(payload, memoryview) else memoryview(payload)
+            payload = view.toreadonly()
+        self._network._submit(Message(self.node_id, destination, kind, payload))
 
     def poll(self, max_messages: Optional[int] = None) -> List[Message]:
         """Drain up to ``max_messages`` pending messages (all by default).

@@ -34,7 +34,7 @@ from repro.ml.mf import MatrixFactorization, MfState
 from repro.net.serialization import (
     CodecError,
     decode_mf_state,
-    encode_mf_state,
+    encode_mf_state_into,
     measure_mf_state,
 )
 
@@ -285,13 +285,27 @@ def snapshot_from_arrays(
 # Wire codec (hand-off into a serving enclave)
 # --------------------------------------------------------------------- #
 def encode_snapshot(snapshot: ModelSnapshot) -> bytes:
-    """Serve header (version, node, epoch) + the training MF-state wire."""
-    header = _SNAPSHOT_MAGIC + _SNAPSHOT_HEADER.pack(
-        snapshot.version, snapshot.node_id, snapshot.epoch
+    """Serve header (version, node, epoch) + the training MF-state wire.
+
+    Assembled in one preallocated buffer: the serve header is packed in
+    place and the MF state serialized directly after it via
+    :func:`~repro.net.serialization.encode_mf_state_into`, so the (large)
+    row blocks of the publish path are written exactly once.
+    """
+    buf = bytearray(snapshot.wire_bytes)
+    view = memoryview(buf)
+    view[: len(_SNAPSHOT_MAGIC)] = _SNAPSHOT_MAGIC
+    _SNAPSHOT_HEADER.pack_into(
+        buf, len(_SNAPSHOT_MAGIC), snapshot.version, snapshot.node_id, snapshot.epoch
     )
-    return header + encode_mf_state(
-        snapshot._as_state(), wire_dtype=snapshot._wire_dtype()
+    end = encode_mf_state_into(
+        snapshot._as_state(),
+        buf,
+        len(_SNAPSHOT_MAGIC) + _SNAPSHOT_HEADER.size,
+        wire_dtype=snapshot._wire_dtype(),
     )
+    assert end == len(buf)
+    return bytes(buf)
 
 
 def decode_snapshot(payload: bytes) -> ModelSnapshot:
@@ -299,7 +313,9 @@ def decode_snapshot(payload: bytes) -> ModelSnapshot:
         raise CodecError("not a serve-snapshot payload")
     offset = len(_SNAPSHOT_MAGIC)
     version, node_id, epoch = _SNAPSHOT_HEADER.unpack_from(payload, offset)
-    state = decode_mf_state(payload[offset + _SNAPSHOT_HEADER.size :])
+    # Zero-copy handoff: the MF decoder reads ids and rows as views of
+    # the snapshot wire buffer instead of a sliced copy of its body.
+    state = decode_mf_state(memoryview(payload)[offset + _SNAPSHOT_HEADER.size :])
     return ModelSnapshot(
         version,
         node_id,

@@ -30,12 +30,22 @@ from __future__ import annotations
 
 import hmac
 
+from repro.tee.crypto import backend as _backend
 from repro.tee.crypto.chacha20 import chacha20_blocks
-from repro.tee.crypto.fastchacha import chacha20_seal_xor
+from repro.tee.crypto.fastchacha import chacha20_seal_xor, chacha20_seal_xor_many
 from repro.tee.crypto.poly1305 import poly1305_aead_tag
-from repro.tee.crypto.tuning import fast_path_threshold
+from repro.tee.crypto.tuning import batch_path_threshold, fast_path_threshold
 
-__all__ = ["AeadError", "ChaCha20Poly1305", "TAG_LENGTH", "NONCE_LENGTH", "KEY_LENGTH"]
+__all__ = [
+    "AeadError",
+    "ChaCha20Poly1305",
+    "TAG_LENGTH",
+    "NONCE_LENGTH",
+    "KEY_LENGTH",
+    "open_many",
+    "seal_many",
+    "seal_many_into",
+]
 
 TAG_LENGTH = 16
 NONCE_LENGTH = 12
@@ -88,6 +98,8 @@ class ChaCha20Poly1305:
         """Encrypt and authenticate; returns ciphertext || 16-byte tag."""
         if len(nonce) != NONCE_LENGTH:
             raise ValueError(f"nonce must be {NONCE_LENGTH} bytes")
+        if _backend.aead_backend() == "native":
+            return _backend.native_seal(self._key, nonce, plaintext, aad)
         poly_key, ciphertext = self._seal_pipeline(nonce, plaintext)
         return ciphertext + poly1305_aead_tag(poly_key, aad, ciphertext)
 
@@ -102,6 +114,11 @@ class ChaCha20Poly1305:
             raise ValueError(f"nonce must be {NONCE_LENGTH} bytes")
         if len(data) < TAG_LENGTH:
             raise AeadError("ciphertext shorter than the authentication tag")
+        if _backend.aead_backend() == "native":
+            ok, plaintext = _backend.native_open(self._key, nonce, data, aad)
+            if not ok:
+                raise AeadError("authentication tag mismatch")
+            return plaintext
         view = memoryview(data)
         ciphertext, tag = view[:-TAG_LENGTH], view[-TAG_LENGTH:]
         # The open pipeline mirrors seal: the same single keystream batch
@@ -113,3 +130,120 @@ class ChaCha20Poly1305:
         if not hmac.compare_digest(expected, tag):
             raise AeadError("authentication tag mismatch")
         return plaintext
+
+
+def seal_many_into(requests, outs) -> None:
+    """Seal a whole batch of messages into caller-provided frames.
+
+    ``requests`` is a sequence of ``(cipher, nonce, plaintext, aad)``
+    tuples -- one per message, each with its *own* cipher (channel key) --
+    and ``outs[i]`` a writable buffer of exactly ``len(plaintext) +
+    TAG_LENGTH`` bytes that receives ``ciphertext || tag`` in place
+    (typically the sealed span of a preallocated wire frame, making the
+    epoch's frames zero-copy end to end).
+
+    Dispatch, in order:
+
+    - **native** backend: one OpenSSL call per message (its fused AEAD is
+      fast enough that cross-message batching cannot beat it);
+    - **numpy** backend, aggregate >= :func:`batch_path_threshold` and
+      more than one message: a single multi-message lane-kernel
+      invocation generates every message's keystream at once, then
+      Poly1305 runs per message over the in-frame ciphertext;
+    - otherwise: the per-message scalar/vector pipeline.
+
+    All three paths produce byte-identical wire output (RFC 8439 fixes
+    it); tests pin the equivalence.
+    """
+    m = len(requests)
+    if len(outs) != m:
+        raise ValueError("outs must provide one frame per request")
+    for (cipher, nonce, plaintext, _), out in zip(requests, outs):
+        if len(nonce) != NONCE_LENGTH:
+            raise ValueError(f"nonce must be {NONCE_LENGTH} bytes")
+        if len(out) != len(plaintext) + TAG_LENGTH:
+            raise ValueError("frame must hold ciphertext plus tag exactly")
+    if m == 0:
+        return
+
+    if _backend.aead_backend() == "native":
+        for (cipher, nonce, plaintext, aad), out in zip(requests, outs):
+            sealed = _backend.native_seal(cipher._key, nonce, plaintext, aad)
+            view = memoryview(out)
+            view[:] = sealed
+        return
+
+    aggregate = sum(len(plaintext) for _, _, plaintext, _ in requests)
+    if m > 1 and aggregate >= batch_path_threshold():
+        ct_views = [memoryview(out)[: len(pt)] for (_, _, pt, _), out in zip(requests, outs)]
+        lanes = [(cipher._key, nonce, pt) for cipher, nonce, pt, _ in requests]
+        sealed = chacha20_seal_xor_many(lanes, outs=ct_views)
+        for (poly_key, _), (_, _, _, aad), out, ct in zip(sealed, requests, outs, ct_views):
+            memoryview(out)[len(ct) :] = poly1305_aead_tag(poly_key, aad, ct)
+        return
+
+    for (cipher, nonce, plaintext, aad), out in zip(requests, outs):
+        view = memoryview(out)
+        view[:] = cipher.encrypt(nonce, plaintext, aad)
+
+
+def seal_many(requests) -> list:
+    """Batch seal returning one ``ciphertext || tag`` bytes per request.
+
+    Same dispatch as :func:`seal_many_into`; use the ``_into`` form when
+    the sealed bytes belong inside a larger frame.
+    """
+    outs = [bytearray(len(pt) + TAG_LENGTH) for _, _, pt, _ in requests]
+    seal_many_into(requests, outs)
+    return [bytes(out) for out in outs]
+
+
+def open_many(requests) -> list:
+    """Batch verify-and-decrypt; returns one plaintext per request.
+
+    ``requests`` is a sequence of ``(cipher, nonce, data, aad)`` tuples
+    (``data`` = ``ciphertext || tag``, any bytes-like).  On the numpy
+    backend a single lane-kernel invocation recovers every message's
+    Poly1305 key and candidate plaintext; *all* tags are checked before
+    any plaintext is released, and a single failure raises
+    :class:`AeadError` naming the message index -- a batch is an epoch,
+    and one forged frame poisons the epoch.
+    """
+    m = len(requests)
+    if m == 0:
+        return []
+    for _, nonce, data, _ in requests:
+        if len(nonce) != NONCE_LENGTH:
+            raise ValueError(f"nonce must be {NONCE_LENGTH} bytes")
+        if len(data) < TAG_LENGTH:
+            raise AeadError("ciphertext shorter than the authentication tag")
+
+    backend = _backend.aead_backend()
+    aggregate = sum(len(data) - TAG_LENGTH for _, _, data, _ in requests)
+    if backend == "numpy" and m > 1 and aggregate >= batch_path_threshold():
+        views = [memoryview(data) for _, _, data, _ in requests]
+        lanes = [
+            (cipher._key, nonce, view[:-TAG_LENGTH])
+            for (cipher, nonce, _, _), view in zip(requests, views)
+        ]
+        opened = chacha20_seal_xor_many(lanes)
+        failures = []
+        plaintexts = []
+        for i, ((poly_key, plaintext), (_, _, _, aad), view) in enumerate(
+            zip(opened, requests, views)
+        ):
+            expected = poly1305_aead_tag(poly_key, aad, view[:-TAG_LENGTH])
+            if not hmac.compare_digest(expected, view[-TAG_LENGTH:]):
+                failures.append(i)
+            plaintexts.append(plaintext)
+        if failures:
+            raise AeadError(f"authentication tag mismatch at batch index {failures[0]}")
+        return plaintexts
+
+    plaintexts = []
+    for i, (cipher, nonce, data, aad) in enumerate(requests):
+        try:
+            plaintexts.append(cipher.decrypt(nonce, data, aad))
+        except AeadError:
+            raise AeadError(f"authentication tag mismatch at batch index {i}") from None
+    return plaintexts

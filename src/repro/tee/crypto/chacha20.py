@@ -188,6 +188,22 @@ def chacha20_block(key: bytes, counter: int, nonce: bytes) -> bytes:
     return _core(_CONSTANTS + struct.unpack("<8L", key) + (counter,) + struct.unpack("<3L", nonce))
 
 
+def _check_block_span(counter: int, n_blocks: int) -> None:
+    """Reject keystream spans that would wrap the 32-bit block counter.
+
+    RFC 8439 gives ChaCha20 a 32-bit counter; a span crossing 2**32 would
+    silently wrap to block 0 and *reuse keystream* -- for this AEAD that
+    means the Poly1305 one-time key XORed into late ciphertext, a
+    catastrophic confidentiality break.  Every keystream producer (scalar
+    and vectorized) must reject the span instead.
+    """
+    if n_blocks and counter + n_blocks - 1 > _MASK32:
+        raise ValueError(
+            f"ChaCha20 block counter overflow: counter {counter} + "
+            f"{n_blocks} blocks crosses 2**32; keystream would repeat"
+        )
+
+
 def chacha20_blocks(key: bytes, counter: int, nonce: bytes, n_blocks: int) -> bytes:
     """Concatenated keystream blocks ``counter .. counter + n_blocks - 1``.
 
@@ -195,8 +211,7 @@ def chacha20_blocks(key: bytes, counter: int, nonce: bytes, n_blocks: int) -> by
     counter word changes per block.
     """
     _check_params(key, counter, nonce)
-    if n_blocks and counter + n_blocks - 1 > _MASK32:
-        raise ValueError("counter overflow for requested keystream length")
+    _check_block_span(counter, n_blocks)
     head = _CONSTANTS + struct.unpack("<8L", key)
     tail = struct.unpack("<3L", nonce)
     return b"".join(_core(head + (counter + i,) + tail) for i in range(n_blocks))

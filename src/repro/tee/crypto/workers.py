@@ -1,0 +1,130 @@
+"""Opt-in process-pool lane dispatcher for the batched ChaCha20 kernel.
+
+Python's GIL keeps the NumPy rounds loop on one core; on multi-core
+hosts the lane matrix of a large batched seal can be sharded across
+worker processes, each running :func:`~repro.tee.crypto.fastchacha.
+_keystream_bytes_many` over a contiguous span of messages.  Workers only
+ever see *keystream inputs* (key, nonce, block counts) -- plaintext
+never crosses the process boundary, so the enclave data-flow story is
+unchanged: the XOR against payload bytes and the Poly1305 tags stay in
+the parent.
+
+Disabled by default.  Set ``REPRO_AEAD_WORKERS=N`` (N >= 2) to shard
+aggregate seals of at least :data:`MIN_AGGREGATE_BYTES`; anything
+smaller, and any pool failure, falls back to the in-process kernel.
+Output is byte-identical either way -- sharding only partitions lane
+columns, it never reorders them.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["MIN_AGGREGATE_BYTES", "keystream_many_parallel", "worker_count"]
+
+_ENV_VAR = "REPRO_AEAD_WORKERS"
+
+#: Below this aggregate payload size the IPC + scheduling cost of the
+#: pool exceeds any parallel win; the ISSUE contract is >= 1 MiB seals.
+MIN_AGGREGATE_BYTES = 1 << 20
+
+_pool = None
+_pool_size = 0
+
+
+def worker_count() -> int:
+    """Configured worker processes (0 or 1 disables the pool)."""
+    env = os.environ.get(_ENV_VAR, "")
+    try:
+        n = int(env)
+    except ValueError:
+        return 0
+    return max(0, n)
+
+
+def _shutdown_pool() -> None:
+    """Tear the pool down eagerly (atexit) instead of leaving worker
+    reaping to interpreter-shutdown garbage collection."""
+    global _pool
+    if _pool is not None:
+        _pool.shutdown(wait=False, cancel_futures=True)
+        _pool = None
+
+
+def _get_pool(n: int):
+    global _pool, _pool_size
+    if _pool is not None and _pool_size != n:
+        _shutdown_pool()
+    if _pool is None:
+        from concurrent.futures import ProcessPoolExecutor
+
+        _pool = ProcessPoolExecutor(max_workers=n)
+        _pool_size = n
+        atexit.register(_shutdown_pool)
+    return _pool
+
+
+def _shard_keystream(keys, nonces, blocks: Sequence[int]) -> bytes:
+    """Worker entry point: keystream for a contiguous message span."""
+    from repro.tee.crypto.fastchacha import _keystream_bytes_many
+
+    return _keystream_bytes_many(
+        keys, nonces, np.asarray(blocks, dtype=np.int64)
+    ).tobytes()
+
+
+def _split_spans(blocks: np.ndarray, shards: int) -> List[slice]:
+    """Contiguous message spans with roughly equal block totals."""
+    total = int(blocks.sum())
+    target = total / shards
+    spans = []
+    start = 0
+    acc = 0
+    for i, b in enumerate(blocks):
+        acc += int(b)
+        if acc >= target * (len(spans) + 1) and len(spans) < shards - 1:
+            spans.append(slice(start, i + 1))
+            start = i + 1
+    spans.append(slice(start, len(blocks)))
+    return [s for s in spans if s.stop > s.start]
+
+
+def keystream_many_parallel(keys, nonces, blocks: np.ndarray) -> Optional[np.ndarray]:
+    """Sharded multi-message keystream; ``None`` means "compute locally".
+
+    Returns the same flat writable uint8 array as the in-process kernel
+    (lane order is the concatenation order of ``keys``), or ``None`` when
+    the pool is unavailable or sharding cannot help, in which case the
+    caller falls back to the single-process path.
+    """
+    n = worker_count()
+    if n < 2 or len(keys) < 2:
+        return None
+    spans = _split_spans(blocks, n)
+    if len(spans) < 2:
+        return None
+    try:
+        pool = _get_pool(n)
+        futures = [
+            pool.submit(
+                _shard_keystream,
+                [bytes(k) for k in keys[s]],
+                [bytes(v) for v in nonces[s]],
+                [int(b) for b in blocks[s]],
+            )
+            for s in spans
+        ]
+        parts = [f.result() for f in futures]
+    except Exception:  # pragma: no cover - pool breakage is host-specific
+        return None
+    out = np.empty(int(blocks.sum()) * 64, dtype=np.uint8)
+    offset = 0
+    for part in parts:
+        chunk = np.frombuffer(part, dtype=np.uint8)
+        out[offset : offset + chunk.size] = chunk
+        offset += chunk.size
+    return out
