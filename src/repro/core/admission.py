@@ -1,0 +1,119 @@
+"""Enclave-side admission checks for peer contributions (Byzantine defense).
+
+The attestation layer proves a peer runs the *right code*; it cannot
+prove the peer's host feeds that code *honest data*.  A compromised
+participant can inject shilling profiles, replay-amplify its vote
+through sybil identities, or starve the gossip as a free-rider -- all
+while presenting a perfectly valid quote.  This module is the data-plane
+complement to attestation: pure, deterministic sanity checks the enclave
+runs on every decoded peer share before it may touch the store or the
+model.
+
+Everything here is a pure function of the share and the
+:class:`~repro.core.config.DefenseConfig` bounds -- no randomness, no
+I/O -- so arming the defenses never perturbs a run's RNG streams, and a
+defended fault-free run is bit-identical to an undefended one.
+Rejection reasons are fixed literal strings (they become obs counter
+labels and must never embed rated values).
+
+Trusted module: operates on plaintext rating triplets and model states.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import DefenseConfig
+from repro.data.dataset import RatingsDataset
+
+__all__ = [
+    "REASON_RATING_BOUNDS",
+    "REASON_RATING_SKEW",
+    "REASON_ITEM_CONCENTRATION",
+    "ShareAdmission",
+]
+
+#: Literal rejection reasons (obs label values; never data-derived).
+REASON_RATING_BOUNDS = "rating_bounds"
+REASON_RATING_SKEW = "rating_skew"
+REASON_ITEM_CONCENTRATION = "item_concentration"
+
+
+class ShareAdmission:
+    """Per-node admission state: sanity bounds + per-neighbor quotas.
+
+    One instance lives inside each enclave app when defenses are armed.
+    ``check_triplets`` / ``check_model_state`` judge a single decoded
+    share; ``admit`` applies the per-neighbor volume quota for the
+    current round (quotas reset when the round advances).
+    """
+
+    def __init__(self, defenses: DefenseConfig, share_points: int):
+        self.defenses = defenses
+        #: Per-round triplet budget each neighbor may land in the store.
+        self.share_quota = max(1, int(round(defenses.quota_factor * share_points)))
+        self._round_admitted: dict = {}
+        self._round_epoch: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Distribution sanity (raw-data shares)
+    # ------------------------------------------------------------------ #
+    def check_triplets(self, share: RatingsDataset) -> Optional[str]:
+        """Return a literal rejection reason, or ``None`` to admit.
+
+        The layered bounds target the classic shilling signatures: push
+        profiles rate everything at the scale maximum (mean out of band,
+        near-zero spread) and nuke profiles at the minimum; target
+        stuffing concentrates one item across the share.  Honest samples
+        of real rating marginals sit far inside all three bounds (pinned
+        by property tests), so false rejections cost nothing.
+        """
+        if len(share) == 0:
+            return None
+        d = self.defenses
+        ratings = share.ratings
+        lo = float(ratings.min())
+        hi = float(ratings.max())
+        if lo < d.min_rating or hi > d.max_rating:
+            return REASON_RATING_BOUNDS
+        if len(share) < d.min_sanity_points:
+            return None  # too small to judge distributionally
+        mean = float(ratings.mean())
+        if mean < d.min_share_mean or mean > d.max_share_mean:
+            return REASON_RATING_SKEW
+        if float(ratings.std()) < d.min_share_std:
+            return REASON_RATING_SKEW
+        counts = np.bincount(share.items, minlength=1)
+        if float(counts.max()) > d.max_item_fraction * len(share):
+            return REASON_ITEM_CONCENTRATION
+        return None
+
+    def check_model_state(self, state) -> Optional[str]:
+        """Magnitude bound for model-sharing runs (``None`` to admit)."""
+        bound = self.defenses.model_param_bound
+        for arr in (state.user_factors, state.item_factors, state.user_bias, state.item_bias):
+            values = np.asarray(arr)
+            if values.size and float(np.abs(values).max()) > bound:
+                return REASON_RATING_SKEW
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Per-neighbor volume quota
+    # ------------------------------------------------------------------ #
+    def admit(self, peer: int, epoch: int, points: int) -> int:
+        """Points of a ``peer`` share admitted this round (rest truncated).
+
+        The quota bounds how much store growth any one peer identity can
+        force per round: duplicate-share floods and oversized injected
+        payloads are cut to ``quota_factor * share_points`` triplets.
+        """
+        if epoch != self._round_epoch:
+            self._round_epoch = epoch
+            self._round_admitted = {}
+        used = self._round_admitted.get(peer, 0)
+        allowed = max(0, self.share_quota - used)
+        admitted = min(int(points), allowed)
+        self._round_admitted[peer] = used + admitted
+        return admitted

@@ -25,6 +25,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro._rng import child_rng, stream_seed
+from repro.core.admission import ShareAdmission
 from repro.core.channel import (
     AccountedChannel,
     PlaintextChannel,
@@ -47,6 +48,7 @@ from repro.core.messages import (
 )
 from repro.core.stats import EpochStats
 from repro.core.store import DataStore
+from repro.data.dataset import RatingsDataset
 from repro.ml.dnn.model import DnnRecommender
 from repro.ml.mf import MatrixFactorization
 from repro.net.serialization import (
@@ -64,7 +66,12 @@ from repro.net.serialization import CodecError
 from repro.tee.attestation import MutualAttestation, Quote
 from repro.tee.crypto.aead import AeadError
 from repro.tee.enclave import TrustedApp, ecall
-from repro.tee.errors import ChannelNotEstablished, MeasurementMismatch, QuoteVerificationError
+from repro.tee.errors import (
+    ChannelNotEstablished,
+    MeasurementMismatch,
+    QuoteVerificationError,
+    SnapshotReplayError,
+)
 
 __all__ = ["RexEnclaveApp"]
 
@@ -153,11 +160,43 @@ class RexEnclaveApp(TrustedApp):
         # -- serving state (populated by ecall_publish_snapshot) -------- #
         self._serving: Optional[ServingState] = None
         self._snapshot_version = 0
+        #: Published snapshot history, by version (serve-path rollback
+        #: experiments address stale versions explicitly).
+        self._published: Dict[int, object] = {}
+        # -- Byzantine surface (inert unless plan/config engage it) ----- #
+        #: Scripted attacker persona for this node's *host* (chaos plans
+        #: only; ``None`` for every honest run).  All attack randomness
+        #: comes from a dedicated child stream so honest streams are
+        #: untouched.
+        attack = args.get("attack")
+        self._attack_role: Optional[dict] = dict(attack) if attack else None
+        self._attack_rng = (
+            child_rng(self.config.seed, "attack", self.node_id)
+            if self._attack_role is not None
+            else None
+        )
+        #: Admission checks (sanity bounds + quotas); ``None`` = disarmed.
+        self._admission: Optional[ShareAdmission] = (
+            ShareAdmission(self.config.defenses, self.config.share_points)
+            if self.config.defenses.enabled
+            else None
+        )
+        #: Quote-pinning table: DH public key -> first peer id seen using it.
+        self._pinned_pubkeys: Dict[bytes, int] = {}
+        #: Consecutive empty DPSGD data-shares per neighbor + flagged set.
+        self._empty_rounds: Dict[int, int] = {}
+        self._flagged_riders: set = set()
+        #: Sybil-attacker state: cloned-identity channels and quote cache.
+        self._sybil_channels: Dict[Tuple[int, int], object] = {}
+        self._sybil_quoted = False
+        self._my_quote_bytes: Optional[bytes] = None
 
         self._account_memory(staging=0)
 
         if self.secure:
             quote_bytes = self._make_quote().to_bytes()
+            if self._attack_role is not None and self._attack_role.get("persona") == "sybil":
+                self._my_quote_bytes = quote_bytes
             for neighbor in self.neighbors:
                 self.ctx.ocall("send_message", neighbor, KIND_QUOTE, quote_bytes)
         else:
@@ -220,6 +259,7 @@ class RexEnclaveApp(TrustedApp):
         )
         if self._serving is None:
             self._serving = ServingState(metrics=self.ctx.metrics)
+        self._published[snapshot.version] = snapshot
         # Exclusion comes from the node's raw store: everything this
         # node knows a user already rated, local or gossiped.
         dataset = self.store.as_dataset()
@@ -228,10 +268,37 @@ class RexEnclaveApp(TrustedApp):
         return snapshot.meta().to_dict()
 
     @ecall
-    def ecall_serve(self, users: list, k: int) -> dict:
-        """Serve a top-``k`` batch; item ids, scores and counts leave."""
+    def ecall_serve(self, users: list, k: int, version: Optional[int] = None) -> dict:
+        """Serve a top-``k`` batch; item ids, scores and counts leave.
+
+        ``version`` lets the host address an older published snapshot --
+        the stale-replay attack surface.  With defenses armed the enclave
+        refuses any version below its published high-water mark
+        (:class:`SnapshotReplayError`); undefended, it installs the stale
+        snapshot and serves from it, exactly what a rolled-back replica
+        would do.
+        """
         if self._serving is None or self._serving.snapshot is None:
             raise ValueError("no snapshot published; call ecall_publish_snapshot")
+        target = self._snapshot_version if version is None else int(version)
+        if target != self._snapshot_version:
+            defenses = self.config.defenses
+            if (
+                defenses.enabled
+                and defenses.snapshot_monotonic
+                and target < self._snapshot_version
+            ):
+                self._count_fault("faults.rejected", kind="replay_snapshot")
+                raise SnapshotReplayError(
+                    "serve-time rollback refused: requested version is below "
+                    "the published high-water mark"
+                )
+        snapshot = self._published.get(target)
+        if snapshot is None:
+            raise ValueError("unknown snapshot version")
+        if self._serving.snapshot is not snapshot:
+            dataset = self.store.as_dataset()
+            self._serving.install(snapshot, dataset.users, dataset.items)
         items, scores, stats = self._serving.query_batch(users, k)
         self.ctx.memory.set("serve", self._serving.resident_bytes)
         return {
@@ -339,6 +406,17 @@ class RexEnclaveApp(TrustedApp):
                 self._count_fault("faults.recovered", kind="quote")
                 return
             raise
+        defenses = self.config.defenses
+        if defenses.enabled and defenses.quote_pinning:
+            # Quote pinning: a DH public key stays bound to the first peer
+            # identity seen presenting it.  A signature-valid quote replayed
+            # under a different identity is the sybil signature -- the quote
+            # proves code identity, never who is speaking.
+            owner = self._pinned_pubkeys.get(pubkey)
+            if owner is not None and owner != src:
+                self._count_fault("faults.rejected", kind="sybil", peer=src)
+                return
+            self._pinned_pubkeys[pubkey] = src
         self.channels[src] = self._bind_channel(self._make_channel(key, src))
         self._peer_pubkeys[src] = pubkey
         if tolerant:
@@ -508,6 +586,7 @@ class RexEnclaveApp(TrustedApp):
         staging = 0
         for _src, (header, content) in sorted(received.items()):
             if header.content == CONTENT_EMPTY:
+                self._note_empty_share(_src)
                 continue
             try:
                 if header.content != CONTENT_TRIPLETS:
@@ -519,6 +598,27 @@ class RexEnclaveApp(TrustedApp):
                     self._count_fault("faults.recovered", kind="merge")
                     continue
                 raise
+            self._empty_rounds.pop(_src, None)
+            if self._admission is not None:
+                reason = self._admission.check_triplets(alien)
+                if reason is not None:
+                    # The whole share is discarded: a distribution this far
+                    # outside honest marginals is fabricated, and salvaging
+                    # pieces of it would just teach attackers to dilute.
+                    self._count_fault("faults.rejected", kind=reason, peer=_src)
+                    continue
+                admitted = self._admission.admit(_src, self.epoch, len(alien))
+                if admitted < len(alien):
+                    self._count_fault("faults.rejected", kind="quota", peer=_src)
+                    if admitted == 0:
+                        continue
+                    alien = RatingsDataset(
+                        alien.users[:admitted],
+                        alien.items[:admitted],
+                        alien.ratings[:admitted],
+                        n_users=alien.n_users,
+                        n_items=alien.n_items,
+                    )
             staging = max(staging, alien.nbytes + len(content))
             stats.dedup_checked_items += len(alien)
             if self.config.dedup:
@@ -529,6 +629,30 @@ class RexEnclaveApp(TrustedApp):
             if added:
                 self.model.mark_seen(alien)
         return staging
+
+    def _note_empty_share(self, src: int) -> None:
+        """Free-rider detection: consecutive empty DPSGD data-shares.
+
+        Empty barriers are legitimate under RMW (all but one neighbor get
+        one every epoch), so detection only runs for DPSGD raw-data runs,
+        where an honest node always samples a non-empty share.  Detection
+        flags, it never ejects: a starved gossip still completes, and the
+        report surfaces who contributed nothing.
+        """
+        if (
+            self._admission is None
+            or self.config.dissemination is not Dissemination.DPSGD
+            or self.config.scheme is not SharingScheme.DATA
+        ):
+            return
+        count = self._empty_rounds.get(src, 0) + 1
+        self._empty_rounds[src] = count
+        if (
+            count >= self.config.defenses.free_rider_patience
+            and src not in self._flagged_riders
+        ):
+            self._flagged_riders.add(src)
+            self._count_fault("faults.detected", kind="free_rider", peer=src)
 
     def _merge_models(
         self, received: Dict[int, Tuple[PayloadHeader, bytes]], stats: EpochStats
@@ -551,6 +675,13 @@ class RexEnclaveApp(TrustedApp):
                     self._count_fault("faults.recovered", kind="merge")
                     continue
                 raise
+            if self._admission is not None:
+                reason = self._admission.check_model_state(state)
+                if reason is not None:
+                    # A parameter blow-up this large never comes out of
+                    # honest SGD; merging it would overwrite the model.
+                    self._count_fault("faults.rejected", kind=reason, peer=src)
+                    continue
             staging += len(content) + _state_nbytes(state)
             incoming.append((src, header, state))
 
@@ -592,8 +723,16 @@ class RexEnclaveApp(TrustedApp):
         # after it (``encode_*_into``), so the plaintext a channel seals
         # was written exactly once -- no header+content join, no
         # intermediate row arrays.
+        role = self._attack_role or {}
+        persona = role.get("persona")
         if self.config.scheme is SharingScheme.DATA:
-            sample = self.store.sample(self.config.share_points, self.local_rng)
+            if persona in ("poison", "sybil"):
+                # Compromised host: the share is fabricated shilling
+                # profiles, not an honest sample (block 0 = own identity).
+                sample = self._poison_triplets(role.get("spec") or {}, block=0)
+                self._count_attack("poison_points", len(sample))
+            else:
+                sample = self.store.sample(self.config.share_points, self.local_rng)
             content_kind = CONTENT_TRIPLETS
             stats.share_sampled_items = len(sample)
             header_full = PayloadHeader(self.node_id, self.epoch, self.degree, content_kind)
@@ -603,6 +742,9 @@ class RexEnclaveApp(TrustedApp):
             encode_triplets_into(sample, packed_full, content_offset)
         else:
             state = self.model.state()
+            if persona in ("poison", "sybil"):
+                state = self._poison_state(state, role.get("spec") or {})
+                self._count_attack("poison_states")
             header_full = PayloadHeader(
                 self.node_id,
                 self.epoch,
@@ -631,6 +773,12 @@ class RexEnclaveApp(TrustedApp):
             chosen = int(targets[self.local_rng.integers(0, len(targets))])
         else:
             chosen = None  # broadcast
+        if persona == "free_rider":
+            # Free-rider: consume every inbound share, contribute nothing.
+            # Barrier frames still flow (an absent sender would just look
+            # crashed); the *content* is what is withheld.
+            chosen = -1  # matches no neighbor -> empty frames all around
+            self._count_attack("freeride_rounds")
 
         header_empty = PayloadHeader(self.node_id, self.epoch, self.degree, CONTENT_EMPTY)
         # RMW barrier message: header only.
@@ -657,6 +805,107 @@ class RexEnclaveApp(TrustedApp):
             # wire bytes; read its counter instead of re-measuring.
             stats.shared_payload_bytes += channel.sealed_bytes - before
             self.ctx.ocall("send_message", neighbor, KIND_PAYLOAD, wire)
+
+        if persona == "sybil":
+            self._sybil_fanout(role, targets)
+
+    # ------------------------------------------------------------------ #
+    # Byzantine personas (scripted by chaos plans; honest runs never
+    # reach this code)
+    # ------------------------------------------------------------------ #
+    def _poison_triplets(self, spec: dict, *, block: int) -> RatingsDataset:
+        """Fabricate one shilling share (classic *push* attack).
+
+        ``fake_users`` synthetic profiles each rate the target item at
+        the scale maximum and ``filler_items`` seeded-random items at the
+        scale bottom (the *love/hate* variant, maximizing damage).  Fake
+        user ids are drawn from the top of the id space in disjoint
+        per-identity blocks (block 0 = the attacker's own identity,
+        1.. = its sybil clones) so amplified shares carry *distinct*
+        (user, item) pairs and survive the receivers' dedup.
+        """
+        n_users = self.store.n_users
+        n_items = self.store.n_items
+        fake = max(1, int(spec.get("fake_users", 4)))
+        filler = max(0, min(int(spec.get("filler_items", 59)), n_items - 2))
+        target = min(int(spec.get("target_item", 111)), n_items - 1)
+        rating = float(spec.get("rating", 5.0))
+        filler_rating = float(spec.get("filler_rating", 1.0))
+        base = max(0, n_users - fake * (block + 1))
+        users = np.repeat(np.arange(base, base + fake, dtype=np.int64), filler + 1)
+        items = np.empty((fake, filler + 1), dtype=np.int64)
+        for row in range(fake):
+            picks = self._attack_rng.choice(n_items - 1, size=filler, replace=False)
+            items[row, 0] = target
+            items[row, 1:] = np.where(picks >= target, picks + 1, picks)
+        ratings = np.full((fake, filler + 1), filler_rating, dtype=np.float32)
+        ratings[:, 0] = rating
+        ratings = ratings.reshape(-1)
+        return RatingsDataset(
+            users, items.reshape(-1), ratings, n_users=n_users, n_items=n_items
+        )
+
+    def _poison_state(self, state, spec: dict):
+        """Model-sharing poisoning: ship the live state blown up by
+        ``model_boost`` so weighted merges drag every peer's parameters
+        off the data manifold."""
+        boost = float(spec.get("model_boost", 100.0))
+        state.user_factors = state.user_factors * boost
+        state.item_factors = state.item_factors * boost
+        state.user_bias = state.user_bias * boost
+        state.item_bias = state.item_bias * boost
+        return state
+
+    def _sybil_fanout(self, role: dict, targets: list) -> None:
+        """Send this round's cloned-identity traffic (sybil persona).
+
+        The attacker replays its own valid quote under each clone id,
+        then pushes one distinct-block poison share per clone through
+        channels derived from the same enclave DH key
+        (:meth:`~repro.tee.attestation.MutualAttestation.forge_identity_key`).
+        Quote-pinning receivers reject the cloned quotes, so the sealed
+        clone frames die as unattested traffic; undefended receivers
+        merge every clone's share as an independent neighbor's.
+        """
+        if not self.secure or self.config.scheme is not SharingScheme.DATA:
+            return
+        clones = [int(c) for c in role.get("clones", ())]
+        if not clones or self._my_quote_bytes is None:
+            return
+        if not self._sybil_quoted:
+            for clone in clones:
+                for neighbor in targets:
+                    self.ctx.ocall("send_as", clone, neighbor, KIND_QUOTE, self._my_quote_bytes)
+            self._sybil_quoted = True
+        spec = role.get("spec") or {}
+        for block, clone in enumerate(clones, start=1):
+            sample = self._poison_triplets(spec, block=block)
+            self._count_attack("poison_points", len(sample))
+            header = PayloadHeader(clone, self.epoch, self.degree, CONTENT_TRIPLETS)
+            packed, offset = payload_buffer(header, measure_triplets(len(sample)))
+            encode_triplets_into(sample, packed, offset)
+            for neighbor in targets:
+                channel = self._sybil_channels.get((clone, neighbor))
+                if channel is None:
+                    pubkey = self._peer_pubkeys.get(neighbor)
+                    if pubkey is None:
+                        continue
+                    key = self.attestor.forge_identity_key(
+                        f"rex-{clone}", f"rex-{neighbor}", pubkey
+                    )
+                    if self.config.crypto_mode is CryptoMode.REAL:
+                        channel = SecureChannel(key, clone, neighbor)
+                    else:
+                        channel = AccountedChannel(key, clone, neighbor)
+                    self._sybil_channels[(clone, neighbor)] = channel
+                wire = channel.seal(bytes(packed))
+                self._count_attack("sybil_frames")
+                self.ctx.ocall("send_as", clone, neighbor, KIND_PAYLOAD, wire)
+
+    def _count_attack(self, kind: str, amount: int = 1) -> None:
+        metrics = self.ctx.metrics
+        if metrics is not None:
+            metrics.counter("attack.injected", node=self.node_id, kind=kind).inc(amount)
 
     # ------------------------------------------------------------------ #
     # Memory accounting

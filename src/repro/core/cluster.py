@@ -128,6 +128,26 @@ class RexCluster:
             )
 
     # ------------------------------------------------------------------ #
+    # Byzantine surface (driven by the chaos runner)
+    # ------------------------------------------------------------------ #
+    def arm_attacks(self, roles: Dict[int, dict]) -> None:
+        """Assign scripted attacker personas to hosts before bootstrap.
+
+        ``roles`` maps node id -> role dict (``persona`` plus persona
+        parameters).  Sybil roles additionally get their clone network
+        identities registered here -- the compromised host owns real
+        transport endpoints for them, exactly like a machine running
+        extra fake processes.
+        """
+        for node, role in roles.items():
+            host = self.hosts[int(node)]
+            host.attack_role = dict(role)
+            if role.get("persona") == "sybil":
+                for clone in role.get("clones", ()):
+                    clone = int(clone)
+                    host.sybil_endpoints[clone] = self.network.endpoint(clone)
+
+    # ------------------------------------------------------------------ #
     # Serving (after training)
     # ------------------------------------------------------------------ #
     def serving_endpoint(self, node_id: int, *, policy=None, costs=None):

@@ -18,6 +18,7 @@ from repro.data.dataset import RatingsDataset
 from repro.net.serialization import encode_triplets
 from repro.net.transport import Endpoint
 from repro.tee.enclave import Platform
+from repro.tee.errors import UnknownOcall
 
 __all__ = ["RexHost"]
 
@@ -40,6 +41,12 @@ class RexHost:
         self.epoch_stats: List[EpochStats] = []
         #: Incarnation counter; bumped by :meth:`restart` after a crash.
         self.boot = 0
+        #: Scripted Byzantine persona for chaos runs (``None`` = honest);
+        #: assigned by :meth:`RexCluster.arm_attacks` before bootstrap.
+        self.attack_role: Optional[dict] = None
+        #: Extra network identities a sybil-compromised host controls
+        #: (clone id -> endpoint); the ``send_as`` ocall routes over them.
+        self.sybil_endpoints: Dict[int, Endpoint] = {}
         self._on_stats = on_stats
         self._counter_mark = self.enclave.counters.snapshot()
         self._register_ocalls()
@@ -48,12 +55,25 @@ class RexHost:
         self.enclave.register_ocall("send_message", self._ocall_send)
         self.enclave.register_ocall("get_quote", self.enclave.get_quote)
         self.enclave.register_ocall("report_stats", self._ocall_report_stats)
+        self.enclave.register_ocall("send_as", self._ocall_send_as)
 
     # ------------------------------------------------------------------ #
     # Ocall proxies
     # ------------------------------------------------------------------ #
     def _ocall_send(self, destination: int, kind: str, payload: bytes) -> None:
         self.endpoint.send(int(destination), payload, kind=kind)
+
+    def _ocall_send_as(self, source: int, destination: int, kind: str, payload: bytes) -> None:
+        """Send under a cloned identity (sybil persona hosts only).
+
+        An honest host owns exactly one network identity; only a
+        compromised host armed with clone endpoints can satisfy this, so
+        it fails loudly everywhere else.
+        """
+        endpoint = self.sybil_endpoints.get(int(source))
+        if endpoint is None:
+            raise UnknownOcall(f"host {self.node_id} owns no network identity {source}")
+        endpoint.send(int(destination), payload, kind=kind)
 
     # Sanctioned boundary exception: EpochStats carries only aggregate
     # telemetry (counts, byte totals, RMSE) -- never raw triplets or key
@@ -102,6 +122,8 @@ class RexHost:
         if self.boot:
             init_args["boot"] = self.boot
             init_args["resume_epoch"] = int(resume_epoch)
+        if self.attack_role is not None:
+            init_args["attack"] = dict(self.attack_role)
         self.enclave.ecall("ecall_init", init_args)
 
     def restart(
@@ -163,6 +185,15 @@ class RexHost:
         """Freeze the trained model for serving; returns sanitized meta."""
         return self.enclave.ecall("ecall_publish_snapshot")
 
-    def serve(self, users, k: int) -> Dict:
-        """Direct (unqueued) top-``k`` query batch against the enclave."""
-        return self.enclave.ecall("ecall_serve", [int(u) for u in users], int(k))
+    def serve(self, users, k: int, version: Optional[int] = None) -> Dict:
+        """Direct (unqueued) top-``k`` query batch against the enclave.
+
+        ``version`` addresses an older published snapshot -- the stale-
+        replay surface; the enclave refuses rollbacks when defenses are
+        armed.  Omitted, the call shape matches the seed runtime exactly.
+        """
+        if version is None:
+            return self.enclave.ecall("ecall_serve", [int(u) for u in users], int(k))
+        return self.enclave.ecall(
+            "ecall_serve", [int(u) for u in users], int(k), int(version)
+        )

@@ -11,11 +11,22 @@ tolerance mode, producing a :class:`ChaosReport`.
 Everything here runs in the untrusted world: the injector manipulates
 only ciphertext and metadata on the wire, exactly like a real network
 adversary -- which is why the recovery story lives in the enclaves and
-the transport, not here.
+the transport, not here.  Byzantine personas (poisoning, free-riding,
+sybil cloning, snapshot replay) extend the same machinery: compromised
+*hosts* scripted by the plan, countered by enclave-side defenses
+(:class:`~repro.core.config.DefenseConfig`).
 """
 
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import CrashEvent, FaultPlan, LinkFaults, NAMED_PLANS
+from repro.faults.plan import (
+    NAMED_PLANS,
+    CrashEvent,
+    FaultPlan,
+    LinkFaults,
+    PoisonAttack,
+    ReplayAttack,
+    SybilAttack,
+)
 from repro.faults.runner import ChaosController, ChaosReport, run_chaos
 
 __all__ = [
@@ -26,5 +37,8 @@ __all__ = [
     "FaultPlan",
     "LinkFaults",
     "NAMED_PLANS",
+    "PoisonAttack",
+    "ReplayAttack",
+    "SybilAttack",
     "run_chaos",
 ]

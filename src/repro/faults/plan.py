@@ -10,6 +10,16 @@ is exactly replayable from ``(seed, plan)``.
 Named plans (:data:`NAMED_PLANS`) cover the scenarios the chaos test
 suite and ``repro chaos`` exercise; ``mixed-churn`` is the acceptance
 scenario (10% loss + one crash/restart + one straggler).
+
+Beyond crash-style faults, a plan can assign Byzantine *attacker
+personas* to nodes: data poisoning (:class:`PoisonAttack`), free-riding,
+sybil identity cloning (:class:`SybilAttack`) and stale-snapshot replay
+at serve time (:class:`ReplayAttack`).  Attack behavior draws only from
+its own seeded child stream (``child_rng(seed, "attack", node)``), so
+attack runs stay ``(seed, plan)``-pure; ``defended`` selects whether the
+enclave-side defenses (:class:`~repro.core.config.DefenseConfig`) are
+armed, and every attack plan has an undefended ``-open`` twin that
+proves the attack actually bites.
 """
 
 from __future__ import annotations
@@ -19,7 +29,15 @@ from typing import Dict, Optional, Tuple
 
 from repro.core.config import FaultToleranceConfig
 
-__all__ = ["LinkFaults", "CrashEvent", "FaultPlan", "NAMED_PLANS"]
+__all__ = [
+    "LinkFaults",
+    "CrashEvent",
+    "PoisonAttack",
+    "SybilAttack",
+    "ReplayAttack",
+    "FaultPlan",
+    "NAMED_PLANS",
+]
 
 
 @dataclass(frozen=True)
@@ -74,6 +92,88 @@ class CrashEvent:
 
 
 @dataclass(frozen=True)
+class PoisonAttack:
+    """Shilling / profile-injection by compromised participant hosts.
+
+    Each attacker node's host feeds its (genuinely attested) enclave
+    fabricated profiles instead of honest samples: ``fake_users``
+    synthetic profiles, each rating ``target_item`` plus ``filler_items``
+    seeded-random items: the target at the scale-maximum ``rating``,
+    the fillers at the scale-bottom ``filler_rating`` -- the classic
+    *love/hate* push attack (target climbs into every top-K while the
+    low-rated fillers drag honest item biases down globally).  Profile user ids are taken from the top of
+    the id space so distinct attacker identities use disjoint blocks.
+    In model-sharing runs the attacker instead ships its model state
+    scaled by ``model_boost``.
+    """
+
+    nodes: Tuple[int, ...] = ()
+    target_item: int = 111
+    rating: float = 5.0
+    filler_rating: float = 1.0
+    fake_users: int = 4
+    filler_items: int = 59
+    model_boost: float = 100.0
+
+    def __post_init__(self) -> None:
+        if any(n < 0 for n in self.nodes):
+            raise ValueError("poison nodes must be node ids")
+        if self.fake_users < 1 or self.filler_items < 0:
+            raise ValueError("poison profile shape invalid")
+
+    @property
+    def points_per_share(self) -> int:
+        return self.fake_users * (1 + self.filler_items)
+
+
+@dataclass(frozen=True)
+class SybilAttack:
+    """One compromised node presents ``clones`` extra cloned identities.
+
+    The attacker replays its own (valid) quote under fabricated peer ids
+    -- the quote proves *code* identity, not *who is speaking* -- and
+    pushes one poison share per clone per round through channels derived
+    from the same enclave DH key, multiplying its vote without defenses.
+    Clone ids are assigned at runtime above the real id range.
+    """
+
+    node: int = 1
+    clones: int = 3
+    payload: PoisonAttack = field(
+        default_factory=lambda: PoisonAttack(nodes=(), fake_users=4, filler_items=59)
+    )
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError("sybil attacker must be a node id")
+        if self.clones < 1:
+            raise ValueError("a sybil attack needs at least one clone")
+
+
+@dataclass(frozen=True)
+class ReplayAttack:
+    """A host rolls its serving replica back to a stale snapshot.
+
+    The host captures the enclave's snapshot publication at
+    ``capture_epoch`` (version ``stale_version``) and, at serve time,
+    answers queries from that stale version instead of the freshly
+    published one -- silently degrading recommendation quality without
+    touching training.  The monotonicity defense pins the version
+    high-water mark inside the enclave.
+    """
+
+    node: int = 0
+    capture_epoch: int = 1
+    stale_version: int = 1
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError("replay host must be a node id")
+        if self.capture_epoch < 1:
+            raise ValueError("capture epoch must be at least 1")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """One named, fully-declarative chaos scenario."""
 
@@ -92,12 +192,46 @@ class FaultPlan:
     suspect_after_timeouts: int = 2
     max_attempts: int = 4
     backoff_base_ticks: int = 1
+    # -- Byzantine personas (empty/None: classic crash-fault plan) ------ #
+    #: Nodes whose hosts inject shilling profiles into their shares.
+    poison: Optional[PoisonAttack] = None
+    #: Nodes that consume every share but send only empty barriers.
+    free_riders: Tuple[int, ...] = ()
+    #: One node presenting cloned quotes under fabricated identities.
+    sybil: Optional[SybilAttack] = None
+    #: One host replaying a stale snapshot on the serve path.
+    replay: Optional[ReplayAttack] = None
+    #: Arm the enclave-side defenses (quote pinning, admission quotas,
+    #: rating sanity, snapshot monotonicity) for this plan's runs.
+    defended: bool = True
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("a fault plan needs a name")
         if self.straggler_delay_ticks < 1:
             raise ValueError("straggler delay must be at least one tick")
+
+    @property
+    def attacks_active(self) -> bool:
+        return bool(
+            (self.poison and self.poison.nodes)
+            or self.free_riders
+            or self.sybil is not None
+            or self.replay is not None
+        )
+
+    def attack_personas(self) -> Dict[str, Tuple[int, ...]]:
+        """Persona -> attacker node ids (for reports and role wiring)."""
+        personas: Dict[str, Tuple[int, ...]] = {}
+        if self.poison and self.poison.nodes:
+            personas["poison"] = tuple(self.poison.nodes)
+        if self.free_riders:
+            personas["free_rider"] = tuple(self.free_riders)
+        if self.sybil is not None:
+            personas["sybil"] = (self.sybil.node,)
+        if self.replay is not None:
+            personas["replay"] = (self.replay.node,)
+        return personas
 
     def tolerance(self) -> FaultToleranceConfig:
         """The runtime tolerance config this plan expects to run under."""
@@ -150,6 +284,74 @@ NAMED_PLANS: Dict[str, FaultPlan] = {
             crashes=(CrashEvent(node=1, at_epoch=2, restart_after_ticks=6),),
             stragglers=(2,),
             straggler_delay_ticks=3,
+        ),
+        # -- Byzantine personas (each with an undefended "-open" twin) -- #
+        FaultPlan(
+            name="poison",
+            description="one node injects shilling profiles; rating-sanity "
+            "checks and admission quotas reject them",
+            poison=PoisonAttack(nodes=(1, 5), filler_rating=0.5, filler_items=99),
+        ),
+        FaultPlan(
+            name="poison-open",
+            description="shilling profiles with defenses disarmed "
+            "(degradation baseline)",
+            poison=PoisonAttack(nodes=(1, 5), filler_rating=0.5, filler_items=99),
+            defended=False,
+        ),
+        FaultPlan(
+            name="free-ride",
+            description="two nodes consume shares but contribute only empty "
+            "barriers; detection flags them",
+            free_riders=(1, 3),
+        ),
+        FaultPlan(
+            name="free-ride-open",
+            description="free-riders with defenses disarmed",
+            free_riders=(1, 3),
+            defended=False,
+        ),
+        FaultPlan(
+            name="sybil",
+            description="one node replays its quote under cloned identities; "
+            "quote pinning rejects the clones",
+            sybil=SybilAttack(
+                node=1,
+                clones=4,
+                payload=PoisonAttack(filler_rating=0.5, filler_items=118),
+            ),
+        ),
+        FaultPlan(
+            name="sybil-open",
+            description="cloned identities with defenses disarmed "
+            "(amplified poisoning lands)",
+            sybil=SybilAttack(
+                node=1,
+                clones=4,
+                payload=PoisonAttack(filler_rating=0.5, filler_items=118),
+            ),
+            defended=False,
+        ),
+        FaultPlan(
+            name="replay-serve",
+            description="one host serves a stale captured snapshot; version "
+            "monotonicity refuses the rollback",
+            replay=ReplayAttack(node=0, capture_epoch=1, stale_version=1),
+        ),
+        FaultPlan(
+            name="replay-serve-open",
+            description="stale-snapshot serving with defenses disarmed",
+            replay=ReplayAttack(node=0, capture_epoch=1, stale_version=1),
+            defended=False,
+        ),
+        FaultPlan(
+            name="byzantine-mix",
+            description="poisoning + free-rider + sybil clones on a 10%-loss "
+            "network, all defenses armed",
+            link=LinkFaults(drop_rate=0.10),
+            poison=PoisonAttack(nodes=(4,)),
+            free_riders=(3,),
+            sybil=SybilAttack(node=1, clones=2),
         ),
     )
 }

@@ -13,17 +13,33 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
+import numpy as np
+
 from repro.core.cluster import RexCluster
-from repro.core.config import CryptoMode, Dissemination, RexConfig, SharingScheme
+from repro.core.config import (
+    CryptoMode,
+    DefenseConfig,
+    Dissemination,
+    RexConfig,
+    SharingScheme,
+)
 from repro.data.movielens import MovieLensSpec, generate_movielens
 from repro.data.partition import partition_users_across_nodes
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import CrashEvent, FaultPlan, NAMED_PLANS
+from repro.faults.plan import CrashEvent, FaultPlan, NAMED_PLANS, PoisonAttack
+from repro.ml.metrics import precision_at_k
 from repro.ml.mf import MfHyperParams
 from repro.net.topology import Topology
 from repro.obs import Observability
+from repro.tee.errors import SnapshotReplayError
 
 __all__ = ["ChaosController", "ChaosReport", "run_chaos"]
+
+#: Serve-probe defaults for attack runs: top-K size, relevance cut and
+#: how many (lowest-id, hence honest) users are probed.
+PROBE_K = 10
+RELEVANCE_THRESHOLD = 4.0
+PROBE_USERS = 20
 
 
 class ChaosController:
@@ -45,6 +61,10 @@ class ChaosController:
         self._global_mean = global_mean
         self._pending: List[CrashEvent] = sorted(plan.crashes, key=lambda e: e.at_epoch)
         self._restarts: List[Tuple[int, int]] = []  # (due_tick, node)
+        #: Replay persona: snapshot publication to capture mid-run (the
+        #: stale version the host will roll back to at serve time).
+        self._capture = plan.replay
+        self._captured = False
 
     @staticmethod
     def _max_live_epoch(cluster: RexCluster) -> int:
@@ -64,6 +84,18 @@ class ChaosController:
     def on_tick(self, cluster: RexCluster) -> None:
         now = cluster.network.now
         progress = self._max_live_epoch(cluster)
+        if (
+            self._capture is not None
+            and not self._captured
+            and progress >= self._capture.capture_epoch
+            and self._capture.node < len(cluster.hosts)
+            and self._capture.node not in cluster.crashed
+        ):
+            # Progress-keyed like crashes, so the captured (stale) model
+            # is the same pure function of (seed, plan) as everything else.
+            cluster.hosts[self._capture.node].publish_snapshot()
+            self.injector.note("snapshot_capture", f"node={self._capture.node}")
+            self._captured = True
         for event in list(self._pending):
             if event.node >= len(cluster.hosts) or event.at_epoch > cluster.config.epochs:
                 self._pending.remove(event)  # plan written for a larger/longer run
@@ -108,6 +140,22 @@ class ChaosReport:
     node_epochs: Dict[int, int]
     baseline_rmse: Optional[float] = None
     events: List[str] = field(default_factory=list)
+    # -- Byzantine extension (defaults keep crash-only runs unchanged) -- #
+    #: Whether the enclave-side defenses were armed for this run.
+    defended: bool = False
+    #: Persona -> attacker node ids, from the plan.
+    attackers: Dict[str, List[int]] = field(default_factory=dict)
+    #: Per-kind breakdowns of the enclave defense counters (the obs
+    #: registry keeps them per (node, kind); the report folds over nodes).
+    rejected: Dict[str, float] = field(default_factory=dict)
+    detected: Dict[str, float] = field(default_factory=dict)
+    recovered_by_kind: Dict[str, float] = field(default_factory=dict)
+    #: Attacker-side activity counters (``attack.injected`` by kind).
+    attack_injected: Dict[str, float] = field(default_factory=dict)
+    #: Serve-probe results (attack runs only; ``None`` otherwise).
+    probe_k: Optional[int] = None
+    precision: Optional[float] = None
+    baseline_precision: Optional[float] = None
 
     @property
     def injected_total(self) -> int:
@@ -118,6 +166,17 @@ class ChaosReport:
         if self.baseline_rmse is None:
             return None
         return self.final_rmse - self.baseline_rmse
+
+    @property
+    def rejected_total(self) -> float:
+        return sum(self.rejected.values())
+
+    @property
+    def precision_drop(self) -> Optional[float]:
+        """Precision@k lost vs the fault-free baseline (positive = worse)."""
+        if self.precision is None or self.baseline_precision is None:
+            return None
+        return self.baseline_precision - self.precision
 
     def to_dict(self) -> dict:
         return {
@@ -142,6 +201,17 @@ class ChaosReport:
             "node_rmse": {str(k): v for k, v in sorted(self.node_rmse.items())},
             "node_epochs": {str(k): v for k, v in sorted(self.node_epochs.items())},
             "events": list(self.events),
+            "defended": self.defended,
+            "attackers": {k: list(v) for k, v in sorted(self.attackers.items())},
+            "rejected": dict(sorted(self.rejected.items())),
+            "rejected_total": self.rejected_total,
+            "detected": dict(sorted(self.detected.items())),
+            "recovered_by_kind": dict(sorted(self.recovered_by_kind.items())),
+            "attack_injected": dict(sorted(self.attack_injected.items())),
+            "probe_k": self.probe_k,
+            "precision": self.precision,
+            "baseline_precision": self.baseline_precision,
+            "precision_drop": self.precision_drop,
         }
 
     def format_lines(self) -> List[str]:
@@ -167,6 +237,32 @@ class ChaosReport:
                 else ""
             ),
         ]
+        if self.attackers:
+            lines.append(
+                "  attackers        "
+                + ", ".join(
+                    f"{persona}={list(nodes)}"
+                    for persona, nodes in sorted(self.attackers.items())
+                )
+                + (" [defended]" if self.defended else " [open]")
+            )
+            lines.append(
+                f"  defense          {self.rejected_total:.0f} rejected "
+                + (
+                    "(" + ", ".join(f"{k}={v:.0f}" for k, v in sorted(self.rejected.items())) + "), "
+                    if self.rejected
+                    else ""
+                )
+                + f"{sum(self.detected.values()):.0f} detected"
+            )
+        if self.precision is not None:
+            line = f"  precision@{self.probe_k}     {self.precision:.4f}"
+            if self.baseline_precision is not None:
+                line += (
+                    f" (fault-free {self.baseline_precision:.4f}, "
+                    f"drop {self.precision_drop:+.4f})"
+                )
+            lines.append(line)
         return lines
 
 
@@ -184,6 +280,67 @@ def _build_shards(users: int, items: int, ratings: int, nodes: int, data_seed: i
     return split, list(train), list(test)
 
 
+def _poison_spec(attack: PoisonAttack) -> dict:
+    """Boundary-safe persona parameters handed to attacker enclaves."""
+    return {
+        "target_item": attack.target_item,
+        "rating": attack.rating,
+        "filler_rating": attack.filler_rating,
+        "fake_users": attack.fake_users,
+        "filler_items": attack.filler_items,
+        "model_boost": attack.model_boost,
+    }
+
+
+def _attack_roles(plan: FaultPlan, nodes: int) -> Dict[int, dict]:
+    """Resolve the plan's personas onto a concrete cluster size.
+
+    Attacker ids beyond the run's node count are dropped (plans are
+    size-agnostic, like crash events); sybil clone ids are assigned
+    above the real id range so they can never collide with honest nodes.
+    """
+    roles: Dict[int, dict] = {}
+    if plan.poison is not None:
+        for node in plan.poison.nodes:
+            if node < nodes:
+                roles[node] = {"persona": "poison", "spec": _poison_spec(plan.poison)}
+    for node in plan.free_riders:
+        if node < nodes:
+            roles[node] = {"persona": "free_rider"}
+    if plan.sybil is not None and plan.sybil.node < nodes:
+        roles[plan.sybil.node] = {
+            "persona": "sybil",
+            "clones": [nodes + i for i in range(plan.sybil.clones)],
+            "spec": _poison_spec(plan.sybil.payload),
+        }
+    return roles
+
+
+def _relevance_sets(test_split) -> Dict[int, set]:
+    """User -> relevant item ids (test ratings at/above the threshold)."""
+    relevant: Dict[int, set] = {}
+    mask = test_split.ratings >= RELEVANCE_THRESHOLD
+    for user, item in zip(test_split.users[mask], test_split.items[mask]):
+        relevant.setdefault(int(user), set()).add(int(item))
+    return relevant
+
+
+def _probe_precision(host, relevant: Dict[int, set], *, k: int, version=None) -> float:
+    """Mean precision@k over the lowest-id users with relevant test items.
+
+    Low ids are honest by construction -- poison personas fabricate
+    profiles from the *top* of the user id space -- so the probe measures
+    what the attack does to genuine users' recommendations.
+    """
+    probe_users = sorted(relevant)[:PROBE_USERS]
+    result = host.serve(probe_users, k, version=version)
+    precisions = [
+        precision_at_k(np.asarray(row, dtype=np.int64), relevant[user], k)
+        for user, row in zip(probe_users, result["items"])
+    ]
+    return float(np.nanmean(precisions))
+
+
 def run_chaos(
     plan: Union[str, FaultPlan],
     *,
@@ -198,13 +355,24 @@ def run_chaos(
     share_points: int = 60,
     k: int = 8,
     baseline: bool = False,
+    defenses: Optional[bool] = None,
+    serve_probe: Optional[bool] = None,
+    probe_k: int = PROBE_K,
     obs: Optional[Observability] = None,
 ) -> ChaosReport:
     """Run one seeded chaos experiment end to end; returns the report.
 
     ``baseline=True`` additionally runs the identical scenario fault-free
-    (strict mode, no injector) and records its RMSE for comparison --
-    that pair is what the churn-tolerance acceptance test asserts on.
+    (strict mode, no injector) and records its RMSE -- and, for attack
+    plans, its precision@k -- for comparison; that pair is what the
+    acceptance tests assert on.
+
+    ``defenses`` overrides the plan's ``defended`` flag (``None`` arms
+    the enclave defenses exactly when the plan both carries attackers
+    and declares itself defended, so crash-only plans keep their pinned
+    pre-attack schedules byte-identical).  ``serve_probe`` forces the
+    post-run precision@k probe on or off; by default it runs whenever
+    the plan carries attackers.
     """
     if isinstance(plan, str):
         try:
@@ -215,6 +383,9 @@ def run_chaos(
             ) from None
     if obs is None:
         obs = Observability.create()
+
+    armed = (plan.defended and plan.attacks_active) if defenses is None else bool(defenses)
+    probing = plan.attacks_active if serve_probe is None else bool(serve_probe)
 
     split, train, test = _build_shards(users, items, ratings, nodes, data_seed=42)
     global_mean = split.train.global_mean()
@@ -229,9 +400,18 @@ def run_chaos(
         crypto_mode=CryptoMode.REAL,  # corruption must fail *authentication*
         mf=MfHyperParams(k=k),
         faults=plan.tolerance(),
+        defenses=DefenseConfig(enabled=True) if armed else DefenseConfig(),
     )
     cluster = RexCluster(topology, config, secure=True, obs=obs)
     injector = FaultInjector(plan, seed, metrics=obs.metrics).attach(cluster.network)
+    roles = _attack_roles(plan, nodes)
+    if roles:
+        cluster.arm_attacks(roles)
+        for node in sorted(roles):
+            injector.note(
+                "attack",
+                f"node={node} persona={roles[node]['persona']} defended={armed}",
+            )
     cluster.controller = ChaosController(
         plan, injector, train, test, global_mean=global_mean
     )
@@ -247,7 +427,35 @@ def run_chaos(
         )
     final_rmse = sum(node_rmse.values()) / max(1, len(node_rmse))
 
+    # -- serve-path probe (precision@k as genuine users see it) -------- #
+    precision: Optional[float] = None
+    relevant: Dict[int, set] = {}
+    probe_node: Optional[int] = None
+    if probing:
+        relevant = _relevance_sets(split.test)
+        if plan.replay is not None:
+            probe_node = plan.replay.node  # the node whose host rolls back
+        else:
+            probe_node = min(
+                n for n in range(nodes) if n not in roles and n not in cluster.crashed
+            )
+        probe_host = cluster.hosts[probe_node]
+        probe_host.publish_snapshot()
+        if plan.replay is not None:
+            injector.note("replay_serve", f"node={probe_node} defended={armed}")
+            try:
+                precision = _probe_precision(
+                    probe_host, relevant, k=probe_k, version=plan.replay.stale_version
+                )
+            except SnapshotReplayError:
+                # Defense held: the rollback was refused (and counted by
+                # the enclave); the host must serve the fresh snapshot.
+                precision = _probe_precision(probe_host, relevant, k=probe_k)
+        else:
+            precision = _probe_precision(probe_host, relevant, k=probe_k)
+
     baseline_rmse: Optional[float] = None
+    baseline_precision: Optional[float] = None
     if baseline:
         plain_config = RexConfig(
             scheme=scheme,
@@ -263,6 +471,10 @@ def run_chaos(
         baseline_rmse = sum(
             float(host.status()["test_rmse"]) for host in plain.hosts
         ) / len(plain.hosts)
+        if probing and probe_node is not None:
+            plain_host = plain.hosts[probe_node]
+            plain_host.publish_snapshot()
+            baseline_precision = _probe_precision(plain_host, relevant, k=probe_k)
 
     metrics = obs.metrics
     return ChaosReport(
@@ -284,4 +496,22 @@ def run_chaos(
         node_epochs=node_epochs,
         baseline_rmse=baseline_rmse,
         events=list(injector.events),
+        defended=armed,
+        attackers={k_: list(v) for k_, v in plan.attack_personas().items()},
+        rejected=_kind_breakdown(metrics, "faults.rejected"),
+        detected=_kind_breakdown(metrics, "faults.detected"),
+        recovered_by_kind=_kind_breakdown(metrics, "faults.recovered"),
+        attack_injected=_kind_breakdown(metrics, "attack.injected"),
+        probe_k=probe_k if probing else None,
+        precision=precision,
+        baseline_precision=baseline_precision,
     )
+
+
+def _kind_breakdown(metrics, name: str) -> Dict[str, float]:
+    """Fold one counter family over nodes, keyed by its ``kind`` label."""
+    out: Dict[str, float] = {}
+    for counter in metrics.collect(name):
+        kind = dict(counter.labels).get("kind", "")
+        out[kind] = out.get(kind, 0.0) + counter.value
+    return dict(sorted(out.items()))

@@ -54,6 +54,7 @@ TRUSTED_PREFIXES: tuple = (
     "repro.core.app",
     "repro.core.store",
     "repro.core.channel",
+    "repro.core.admission",
     "repro.tee.crypto",
     "repro.tee.attestation",
     "repro.ml",

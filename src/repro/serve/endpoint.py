@@ -27,6 +27,7 @@ from repro.serve.cache import HotEmbeddingCache, TopNCache
 from repro.serve.scoring import batched_top_k, exclusion_index
 from repro.serve.snapshot import ModelSnapshot, decode_snapshot
 from repro.tee.enclave import TrustedApp, ecall
+from repro.tee.errors import SnapshotReplayError
 
 __all__ = ["BatchStats", "ServingState", "ServeEnclaveApp"]
 
@@ -187,8 +188,27 @@ class ServeEnclaveApp(TrustedApp):
         payload, optionally the node's rating triplets (to rebuild the
         seen-item exclusion index), and cache capacities.  Returns the
         sanitized snapshot metadata.
+
+        ``require_newer=True`` arms the stale-replay defense: once set,
+        this enclave tracks the highest snapshot version it has served
+        and refuses any load at or below it
+        (:class:`~repro.tee.errors.SnapshotReplayError`).  In a real
+        deployment the flag would be part of the measured enclave config
+        -- a host that can toggle it can also roll back.
         """
         snapshot = decode_snapshot(bytes(args["snapshot"]))
+        high_water = getattr(self, "_version_high_water", 0)
+        if args.get("require_newer"):
+            self._monotonic = True
+        if getattr(self, "_monotonic", False) and snapshot.version <= high_water:
+            metrics = self.ctx.metrics
+            if metrics is not None:
+                metrics.counter("faults.rejected", kind="replay_snapshot").inc()
+            raise SnapshotReplayError(
+                "snapshot load refused: version is at or below the served "
+                "high-water mark"
+            )
+        self._version_high_water = max(high_water, snapshot.version)
         self.serving = ServingState(
             metrics=self.ctx.metrics,
             topn_capacity=int(args.get("topn_capacity", DEFAULT_TOPN_CAPACITY)),

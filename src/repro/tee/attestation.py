@@ -287,6 +287,21 @@ class MutualAttestation:
         self._channel_keys[peer_id] = key
         return key
 
+    def forge_identity_key(self, alias_id: str, peer_id: str, peer_pubkey: bytes) -> bytes:
+        """Channel key a *compromised* participant derives for a fake alias.
+
+        Attack-simulation helper (sybil persona).  A quote binds the DH
+        public key to the enclave's *code* identity, not to which peer
+        presents it, so a participant replaying its own valid quote under
+        ``alias_id`` can equally derive the channel key the victim
+        ``peer_id`` will compute for that alias: the same DH secret fed
+        through the alias-sorted info string.  The defense lives at the
+        receiver -- quote pinning rejects a public key already pinned to
+        a different identity -- not in the key schedule.
+        """
+        secret = self._dh_key.exchange(X25519PublicKey(bytes(peer_pubkey)))
+        return derive_channel_key(secret, alias_id, peer_id, self.measurement)
+
     def is_attested(self, peer_id: str) -> bool:
         return peer_id in self._channel_keys
 

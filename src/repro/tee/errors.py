@@ -12,6 +12,7 @@ __all__ = [
     "QuoteVerificationError",
     "MeasurementMismatch",
     "ChannelNotEstablished",
+    "SnapshotReplayError",
 ]
 
 
@@ -58,3 +59,8 @@ class MeasurementMismatch(AttestationError):
 
 class ChannelNotEstablished(AttestationError):
     """Encrypted traffic arrived from a peer that never completed attestation."""
+
+
+class SnapshotReplayError(TeeError):
+    """The host asked the serve path for a snapshot version below the
+    enclave's published high-water mark (stale-replay defense)."""
