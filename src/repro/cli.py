@@ -195,6 +195,46 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the repro.serve/v1 report document (JSON) here",
     )
+    serve.add_argument(
+        "--fleet",
+        action="store_true",
+        help=(
+            "serve through a sharded fleet (consistent-hash routing, "
+            "replicated failover) under the production traffic model "
+            "instead of one endpoint; emits repro.serve-fleet/v1"
+        ),
+    )
+    serve.add_argument("--shards", type=int, default=4)
+    serve.add_argument("--replicas", type=int, default=2)
+    serve.add_argument(
+        "--peak-rate",
+        type=float,
+        default=8.0,
+        help="fleet mode: daytime-peak mean arrivals per tick",
+    )
+    serve.add_argument(
+        "--day-night-ratio",
+        type=float,
+        default=4.0,
+        help="fleet mode: peak-to-trough diurnal rate ratio",
+    )
+    serve.add_argument(
+        "--flash-crowds",
+        type=int,
+        default=1,
+        help="fleet mode: number of seeded flash-crowd bursts",
+    )
+    serve.add_argument(
+        "--epc-cap-mib",
+        type=float,
+        default=None,
+        help="fleet mode: per-shard EPC cap (default: sized from the shards)",
+    )
+    serve.add_argument(
+        "--kill-one-replica-per-shard",
+        action="store_true",
+        help="fleet mode: crash one replica per shard at the traffic peak",
+    )
 
     fleet = sub.add_parser(
         "fleet-bench",
@@ -463,6 +503,48 @@ def cmd_serve(args) -> int:
     import json
 
     from repro.serve import ServePolicy, WorkloadSpec, run_serving_experiment
+
+    if args.fleet:
+        from repro.serve import TrafficSpec
+        from repro.serve.fleet import FleetPolicy, run_fleet_experiment
+
+        report = run_fleet_experiment(
+            seed=args.seed,
+            shards=args.shards,
+            replicas=args.replicas,
+            nodes=args.nodes,
+            epochs=args.epochs,
+            users=args.users,
+            items=args.items,
+            ratings=args.ratings,
+            node_id=args.node,
+            traffic=TrafficSpec(
+                seed=args.seed,
+                n_users=args.users,
+                ticks=args.ticks,
+                peak_rate=args.peak_rate,
+                day_night_ratio=args.day_night_ratio,
+                flash_crowds=args.flash_crowds,
+            ),
+            policy=FleetPolicy(
+                shard=ServePolicy(
+                    top_k=args.top_k,
+                    queue_depth=args.queue_depth,
+                    max_batch=args.max_batch,
+                    shed="reject-newest",
+                ),
+            ),
+            epc_cap_mib=args.epc_cap_mib,
+            kill_one_replica_per_shard=args.kill_one_replica_per_shard,
+        )
+        for line in report.format_lines():
+            print(line)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {args.output} ({report.completed} completions)")
+        return 0
 
     report = run_serving_experiment(
         seed=args.seed,

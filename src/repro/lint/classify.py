@@ -62,6 +62,9 @@ TRUSTED_PREFIXES: tuple = (
     "repro.serve.scoring",
     "repro.serve.cache",
     "repro.serve.endpoint",
+    # Shard endpoints slice plaintext parameter arrays and own a
+    # plaintext snapshot + raw-rating exclusion index per partition.
+    "repro.serve.fleet.shard",
 )
 
 #: Substrate + boundary-crossing types + sanctioned whole-system models.
@@ -85,6 +88,13 @@ SHARED_PREFIXES: tuple = (
     # The train->publish->serve pipeline plays every role in one process,
     # exactly like the repro.sim fleet simulators.
     "repro.serve.runner",
+    # The fleet's routing fabric crosses the boundary by design: the
+    # ring and balancer are host-side plumbing that talks to trusted
+    # shard enclaves only via ecalls, and the fleet runner plays every
+    # role in one process like repro.serve.runner.
+    "repro.serve.fleet.router",
+    "repro.serve.fleet.balancer",
+    "repro.serve.fleet.runner",
 )
 
 #: Secret-bearing names defined in trusted modules.  Untrusted code
@@ -144,6 +154,9 @@ UNTRUSTED_MODULES: frozenset = frozenset(
         "repro.core.cluster",
         "repro.core.host",
         "repro.serve",
+        "repro.serve.costing",
+        "repro.serve.fleet",
+        "repro.serve.fleet.report",
         "repro.serve.report",
         "repro.serve.server",
         "repro.serve.workload",

@@ -17,12 +17,18 @@ the same software-enclave model the training protocol uses:
 - :mod:`repro.serve.server` -- the untrusted host driver: bounded
   admission queue, batching window, load shedding, simulated-latency
   accounting against the SGX cost model.
+- :mod:`repro.serve.costing` -- the one shared batch-pricing helper the
+  single endpoint and the fleet both charge against.
 - :mod:`repro.serve.workload` -- seeded Zipf-popularity workload
-  generator and the open/closed-loop drivers.
+  generator, the production :class:`TrafficModel` (diurnal + flash
+  crowds + heavy-tailed users) and the open/closed-loop drivers.
 - :mod:`repro.serve.report` -- throughput + latency percentiles + cache
   and EPC accounting as a ``repro.serve/v1`` JSON document.
 - :mod:`repro.serve.runner` -- the one-call train -> publish -> serve
   pipeline behind ``repro serve`` (plays every role, like ``repro.sim``).
+- :mod:`repro.serve.fleet` -- the sharded serving fleet: consistent-hash
+  routing, user-partitioned shard enclaves, replicated failover and the
+  ``repro.serve-fleet/v1`` report (behind ``repro serve --fleet``).
 
 Trust split: snapshots hold plaintext model parameters and the exclusion
 index is derived from the raw rating store, so everything that touches
@@ -34,7 +40,12 @@ system's sanctioned output) coming back.
 from repro.serve.report import ServeReport
 from repro.serve.runner import run_serving_experiment, train_and_load
 from repro.serve.server import RecServer, Request, ServeCostModel, ServePolicy
-from repro.serve.workload import WorkloadGenerator, WorkloadSpec
+from repro.serve.workload import (
+    TrafficModel,
+    TrafficSpec,
+    WorkloadGenerator,
+    WorkloadSpec,
+)
 
 __all__ = [
     "RecServer",
@@ -42,6 +53,8 @@ __all__ = [
     "ServeCostModel",
     "ServePolicy",
     "ServeReport",
+    "TrafficModel",
+    "TrafficSpec",
     "WorkloadGenerator",
     "WorkloadSpec",
     "run_serving_experiment",

@@ -214,14 +214,18 @@ class ServeEnclaveApp(TrustedApp):
             topn_capacity=int(args.get("topn_capacity", DEFAULT_TOPN_CAPACITY)),
             hot_capacity=int(args.get("hot_capacity", DEFAULT_HOT_CAPACITY)),
         )
+        self._install_snapshot(snapshot, args)
+        self._account()
+        return snapshot.meta().to_dict()
+
+    def _install_snapshot(self, snapshot: ModelSnapshot, args: dict) -> None:
+        """Install hook: shard endpoints override to remap global ids."""
         ratings = args.get("ratings")
         if ratings is not None:
             data = decode_triplets(bytes(ratings))
             self.serving.install(snapshot, data.users, data.items)
         else:
             self.serving.install(snapshot)
-        self._account()
-        return snapshot.meta().to_dict()
 
     @ecall
     def ecall_serve(self, users: list, k: int) -> dict:

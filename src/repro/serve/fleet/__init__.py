@@ -1,0 +1,36 @@
+"""Sharded serving fleet: consistent-hash routing + replicated failover.
+
+One serving enclave cannot hold a population-scale catalog inside EPC
+(the paper's Fig. 7 paging analysis is exactly about what happens when
+it tries).  This package scales :mod:`repro.serve` from one endpoint to
+a fleet:
+
+- :mod:`repro.serve.fleet.router` -- a consistent-hash ring mapping user
+  ids to shards with bounded key movement on membership change (shared).
+- :mod:`repro.serve.fleet.shard` -- user-partitioned snapshot shards:
+  each shard's enclave holds only its partition's user-embedding rows
+  plus the (replicated) item side, so per-shard EPC accounting is honest
+  (trusted).
+- :mod:`repro.serve.fleet.balancer` -- the front-end load balancer: a
+  bounded global queue ahead of per-replica admission queues, with
+  snapshot-version-aware failover across replicas (shared).
+- :mod:`repro.serve.fleet.runner` -- the kernel-driven train -> shard ->
+  serve pipeline behind ``repro serve --fleet`` (plays every role, like
+  :mod:`repro.serve.runner`).
+- :mod:`repro.serve.fleet.report` -- the ``repro.serve-fleet/v1`` JSON
+  document (per-shard EPC, routing/failover/shed accounting).
+"""
+
+from repro.serve.fleet.balancer import FleetBalancer, FleetPolicy, ShardReplica
+from repro.serve.fleet.report import FleetServeReport
+from repro.serve.fleet.router import HashRing
+from repro.serve.fleet.runner import run_fleet_experiment
+
+__all__ = [
+    "FleetBalancer",
+    "FleetPolicy",
+    "FleetServeReport",
+    "HashRing",
+    "ShardReplica",
+    "run_fleet_experiment",
+]

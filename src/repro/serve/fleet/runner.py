@@ -1,0 +1,353 @@
+"""One-call train -> shard -> serve fleet pipeline (``repro serve --fleet``).
+
+Like :mod:`repro.serve.runner`, this module deliberately plays every
+role in one process: it trains the fleet (the *same* model the
+single-endpoint pipeline serves for a given seed), partitions users
+across shards with the consistent-hash ring, publishes each shard's
+sliced snapshot into ``replicas`` serving enclaves on per-shard EPC
+platforms, drives a production traffic trace through the
+:class:`~repro.serve.fleet.balancer.FleetBalancer`, optionally kills and
+restarts replicas mid-run (reusing
+:class:`~repro.faults.plan.CrashEvent`, with ``at_epoch`` meaning the
+*serve tick* of the kill), and condenses everything into a
+:class:`~repro.serve.fleet.report.FleetServeReport`.
+
+Every per-tick action runs as an event on the shared
+:class:`~repro.sim.kernel.EventKernel`; within a tick, event keys order
+faults (rank 0) before routing (rank 1) before shard serving (rank 2),
+so a replica killed at tick ``t`` hands its queue back *before* that
+tick's arrivals route -- which is what makes "zero admitted requests
+lost to a crash" hold deterministically.
+
+Shared module: it orchestrates trusted shard enclaves and untrusted
+routing in one process, exactly like :mod:`repro.serve.runner`.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.faults.plan import CrashEvent
+from repro.net.serialization import encode_triplets
+from repro.obs import Observability
+from repro.serve.costing import ServeCostModel
+from repro.serve.fleet.balancer import FleetBalancer, FleetPolicy, ShardReplica
+from repro.serve.fleet.report import FleetServeReport
+from repro.serve.fleet.router import DEFAULT_VNODES, HashRing
+from repro.serve.fleet.shard import (
+    ShardEnclaveApp,
+    build_shard_payload,
+    encode_shard_users,
+)
+from repro.serve.runner import train_fleet_model
+from repro.serve.workload import TrafficModel, TrafficSpec, trace_digest
+from repro.sim.kernel import EventKernel
+from repro.tee.attestation import AttestationService
+from repro.tee.cost_model import SGX1_COST_MODEL, SgxCostModel
+from repro.tee.enclave import Platform
+from repro.tee.epc import EpcModel
+
+__all__ = ["run_fleet_experiment", "kill_one_per_shard_plan"]
+
+_MIB = float(1024 * 1024)
+
+#: Default head-room factor when deriving the per-shard EPC cap from the
+#: largest shard's snapshot footprint (leaves room for the exclusion
+#: index and the pinned hot cache on top of the snapshot itself).
+_EPC_CAP_FACTOR = 2.0
+
+#: Drain safety valve: ticks past the trace horizon before giving up.
+_MAX_DRAIN_TICKS = 100_000
+
+
+def kill_one_per_shard_plan(
+    shards: int,
+    replicas: int,
+    *,
+    at_tick: int,
+    restart_after_ticks: Optional[int] = 8,
+) -> Tuple[CrashEvent, ...]:
+    """One mid-run crash per shard (the fleet acceptance scenario).
+
+    ``CrashEvent.node`` is reused as the *global replica index*
+    ``shard * replicas + replica`` and ``at_epoch`` as the serve tick of
+    the kill.  The victim replica rotates (``shard % replicas``) so the
+    plan exercises more than replica 0.
+    """
+    return tuple(
+        CrashEvent(
+            node=shard * replicas + (shard % replicas),
+            at_epoch=max(1, int(at_tick)),
+            restart_after_ticks=restart_after_ticks,
+        )
+        for shard in range(int(shards))
+    )
+
+
+def run_fleet_experiment(
+    *,
+    seed: int = 0,
+    shards: int = 4,
+    replicas: int = 2,
+    nodes: int = 4,
+    epochs: int = 3,
+    users: int = 240,
+    items: int = 160,
+    ratings: int = 6_000,
+    mf_k: int = 16,
+    node_id: int = 0,
+    traffic: Optional[TrafficSpec] = None,
+    policy: Optional[FleetPolicy] = None,
+    costs: Optional[ServeCostModel] = None,
+    sgx: SgxCostModel = SGX1_COST_MODEL,
+    vnodes: int = DEFAULT_VNODES,
+    epc_cap_mib: Optional[float] = None,
+    crashes: Tuple[CrashEvent, ...] = (),
+    kill_one_replica_per_shard: bool = False,
+    restart_after_ticks: Optional[int] = 8,
+    obs: Optional[Observability] = None,
+) -> FleetServeReport:
+    """Run one seeded sharded-serving experiment; returns the report.
+
+    Everything derives from ``seed`` (training, partitioning, traffic,
+    timing), so two identical invocations produce byte-identical
+    reports.  ``kill_one_replica_per_shard`` injects the acceptance
+    fault plan: one replica per shard dies at the traffic peak and
+    re-joins ``restart_after_ticks`` later.
+    """
+    if shards < 1 or replicas < 1:
+        raise ValueError("need at least one shard and one replica")
+    if obs is None:
+        obs = Observability.create()
+    if policy is None:
+        policy = FleetPolicy()
+    if traffic is None:
+        traffic = TrafficSpec(seed=seed, n_users=users)
+    if traffic.n_users > users:
+        raise ValueError("traffic cannot query more users than the dataset has")
+
+    model = TrafficModel(traffic)
+    peak = model.peak_tick()
+    trace = model.trace()
+    if kill_one_replica_per_shard:
+        crashes = crashes + kill_one_per_shard_plan(
+            shards, replicas, at_tick=peak, restart_after_ticks=restart_after_ticks
+        )
+
+    # ------------------------------------------------------------------ #
+    # Train once, slice per shard.
+    # ------------------------------------------------------------------ #
+    sim, split = train_fleet_model(
+        seed=seed,
+        nodes=nodes,
+        epochs=epochs,
+        users=users,
+        items=items,
+        ratings=ratings,
+        mf_k=mf_k,
+    )
+    ring = HashRing(range(shards), vnodes=vnodes)
+    partition = ring.partition(users)
+
+    version = 1
+    load_args: Dict[int, dict] = {}
+    shard_meta: Dict[int, dict] = {}
+    for shard, owned in partition.items():
+        wire, meta = build_shard_payload(
+            sim.XU[node_id],
+            sim.YI[node_id],
+            sim.BU[node_id],
+            sim.BI[node_id],
+            sim.SU[node_id],
+            sim.SI[node_id],
+            sim.global_mean,
+            owned,
+            version=version,
+            shard_id=shard,
+            epoch=epochs,
+        )
+        load_args[shard] = {
+            "snapshot": wire,
+            # Only the shard's own users' global histories: exclusion is
+            # per-user, and this shard serves exactly these users.
+            "ratings": encode_triplets(split.train.restrict_users(owned)),
+            "shard_users": encode_shard_users(owned),
+            "require_newer": True,
+        }
+        shard_meta[shard] = meta
+
+    # Per-shard EPC cap: every shard must fit, none gets the aggregate.
+    if epc_cap_mib is None:
+        largest = max(m["resident_bytes"] for m in shard_meta.values())
+        epc_cap_mib = max(1.0 / 64.0, _EPC_CAP_FACTOR * largest / _MIB)
+    epc_cap_mib = float(epc_cap_mib)
+
+    # ------------------------------------------------------------------ #
+    # Stand up the fleet.
+    # ------------------------------------------------------------------ #
+    def _boot(platform: Platform, shard: int, replica: int, incarnation: int):
+        enclave = platform.create_enclave(
+            ShardEnclaveApp, f"shard{shard}-r{replica}-i{incarnation}"
+        )
+        enclave.ecall("ecall_load", load_args[shard])
+        return enclave
+
+    replica_map: Dict[int, List[ShardReplica]] = {}
+    for shard in ring.shard_ids:
+        reps: List[ShardReplica] = []
+        for r in range(replicas):
+            platform = Platform(
+                f"fleet-s{shard}-r{r}",
+                AttestationService(),
+                epc=EpcModel(total_mib=epc_cap_mib, usable_mib=epc_cap_mib),
+                metrics=obs.metrics,
+            )
+            reps.append(
+                ShardReplica(
+                    shard,
+                    r,
+                    partial(_boot, platform, shard, r),
+                    policy=policy.shard,
+                    costs=costs,
+                    sgx=sgx,
+                    epc=platform.epc,
+                    metrics=obs.metrics,
+                )
+            )
+        replica_map[shard] = reps
+
+    balancer = FleetBalancer(ring, replica_map, policy=policy, metrics=obs.metrics)
+    for shard in ring.shard_ids:
+        balancer.shard_version[shard] = version
+        for replica in replica_map[shard]:
+            replica.boot(0, version)
+
+    # ------------------------------------------------------------------ #
+    # Schedule the run on the event kernel.
+    # ------------------------------------------------------------------ #
+    kernel = EventKernel()
+    arrivals = np.asarray(trace, dtype=np.int64)
+    cursor = {"pos": 0}
+
+    def _route_tick(tick: int) -> None:
+        pos = cursor["pos"]
+        while pos < len(arrivals) and int(arrivals[pos, 0]) == tick:
+            balancer.offer(int(arrivals[pos, 1]))
+            pos += 1
+        cursor["pos"] = pos
+        balancer.route_pending()
+
+    def _kill(event: CrashEvent) -> None:
+        balancer.kill_replica(event.node // replicas, event.node % replicas)
+
+    def _restart(event: CrashEvent, tick: int) -> None:
+        balancer.restart_replica(event.node // replicas, event.node % replicas, tick)
+
+    for tick in range(traffic.ticks):
+        # Key ranks order one tick's events: faults(0) < route(1) < serve(2).
+        kernel.at(
+            float(tick), partial(_route_tick, tick), kind="serve.fleet.route",
+            key=(tick, 1),
+        )
+        for shard in ring.shard_ids:
+            kernel.at(
+                float(tick), partial(balancer.step_shard, shard),
+                kind="serve.tick", key=(tick, 2, shard),
+            )
+    for event in crashes:
+        if event.node >= shards * replicas:
+            raise ValueError("crash plan names a replica outside the fleet")
+        kernel.at(
+            float(event.at_epoch), partial(_kill, event),
+            kind="faults.crash", key=(event.at_epoch, 0, event.node),
+        )
+        if event.restart_after_ticks is not None:
+            back = event.at_epoch + event.restart_after_ticks
+            kernel.at(
+                float(back), partial(_restart, event, back),
+                kind="faults.restart", key=(back, 0, event.node),
+            )
+    kernel.run()
+
+    # Drain: keep ticking past the horizon until nothing waits anywhere.
+    tick = traffic.ticks
+    stalled = 0
+    while not balancer.idle():
+        before = len(balancer.completions)
+        balancer.route_pending()
+        for shard in ring.shard_ids:
+            balancer.step_shard(shard)
+        stalled = stalled + 1 if len(balancer.completions) == before else 0
+        # A shard with every replica permanently dead can never drain its
+        # deferred queue; after a grace window its stragglers are shed.
+        if stalled > 64:
+            balancer.shed_pending()
+            break
+        tick += 1
+        if tick > traffic.ticks + _MAX_DRAIN_TICKS:
+            raise RuntimeError("fleet failed to drain")
+
+    # ------------------------------------------------------------------ #
+    # Report.
+    # ------------------------------------------------------------------ #
+    completions = balancer.completions
+    latencies = [c.latency_s for c in completions]
+    duration = max((c.finish_s for c in completions), default=0.0)
+    all_replicas = [r for reps in replica_map.values() for r in reps]
+    per_shard = []
+    for shard in ring.shard_ids:
+        reps = replica_map[shard]
+        resident = max(r.resident_bytes for r in reps)
+        cap = reps[0].epc_share_bytes
+        per_shard.append(
+            {
+                "shard": shard,
+                "users": int(len(partition[shard])),
+                "snapshot_digest": shard_meta[shard]["digest"],
+                "epc": {
+                    "resident_bytes": int(resident),
+                    "cap_bytes": cap,
+                    "overcommit": resident / cap if cap else 0.0,
+                    "page_faults": float(sum(r.page_faults for r in reps)),
+                },
+                "replicas": [
+                    {
+                        "replica": r.replica_id,
+                        "alive": r.alive,
+                        "version": r.version,
+                        "incarnations": r.incarnation,
+                        "crashes": r.crashes,
+                        "restarts": r.restarts,
+                        "completed": r.completed,
+                    }
+                    for r in reps
+                ],
+            }
+        )
+    return FleetServeReport(
+        seed=seed,
+        shards=shards,
+        replicas_per_shard=replicas,
+        traffic=traffic.to_dict(),
+        trace_digest=trace_digest(trace),
+        ring_digest=ring.digest(),
+        policy=policy.to_dict(),
+        offered=balancer.offered,
+        routed=balancer.routed,
+        failover=balancer.failover,
+        shed=balancer.shed,
+        deferred=balancer.deferred,
+        stale_rejected=balancer.stale_rejected,
+        routing_errors=int(obs.metrics.value("serve.fleet.routing_errors")),
+        completed=len(completions),
+        duration_s=duration,
+        throughput_rps=len(completions) / duration if duration > 0 else 0.0,
+        busy_s=float(sum(r.busy_s for r in all_replicas)),
+        latency_s=FleetServeReport.latency_summary(latencies),
+        crashes=sum(r.crashes for r in all_replicas),
+        restarts=sum(r.restarts for r in all_replicas),
+        per_shard=per_shard,
+    )

@@ -54,6 +54,12 @@ class ServeReport:
     # -- time ---------------------------------------------------------- #
     duration_s: float
     throughput_rps: float
+    #: Simulated seconds the enclave spent serving dispatched batches
+    #: (the *service window*).  ``completed / busy_s`` is the capacity
+    #: throughput -- the only window comparable across scenarios whose
+    #: arrival processes differ (an arrival-bound run's wall-clock
+    #: throughput measures the workload, not the server).
+    busy_s: float
     latency_s: Dict[str, float]
     # -- caching / EPC ------------------------------------------------- #
     cache: Dict[str, float]
@@ -106,6 +112,11 @@ class ServeReport:
         return lines
 
     # Convenience accessors the tests/benchmarks read.
+    @property
+    def capacity_rps(self) -> float:
+        """Completions over the service window (scenario-comparable)."""
+        return self.completed / self.busy_s if self.busy_s > 0 else 0.0
+
     @property
     def p99_s(self) -> float:
         return self.latency_s["p99"]

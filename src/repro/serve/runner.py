@@ -39,7 +39,7 @@ from repro.tee.cost_model import SGX1_COST_MODEL, SgxCostModel
 from repro.tee.enclave import Enclave, Platform
 from repro.tee.epc import EpcModel
 
-__all__ = ["run_serving_experiment", "train_and_load"]
+__all__ = ["run_serving_experiment", "train_and_load", "train_fleet_model"]
 
 #: Held-out ratings at or above this are "relevant" for ranking quality.
 RELEVANCE_THRESHOLD = 4.0
@@ -60,6 +60,43 @@ def _build_data(users: int, items: int, ratings: int, nodes: int, data_seed: int
     train = partition_users_across_nodes(split.train, nodes, seed=2)
     test = partition_users_across_nodes(split.test, nodes, seed=2)
     return split, list(train), list(test)
+
+
+def train_fleet_model(
+    *,
+    seed: int,
+    nodes: int,
+    epochs: int,
+    users: int,
+    items: int,
+    ratings: int,
+    mf_k: int,
+    share_points: int = 100,
+    data_seed: int = 42,
+):
+    """Train the fleet sim every serving path publishes snapshots from.
+
+    Returns ``(sim, split)``: the finished fleet simulation (its per-node
+    parameter arrays are what gets published) and the train/test split
+    (exclusion ratings and quality probes).  Shared by the
+    single-endpoint pipeline and the sharded fleet runner, so both serve
+    the *same* model for a given seed.
+    """
+    split, train, test = _build_data(users, items, ratings, nodes, data_seed=data_seed)
+    topology = Topology.fully_connected(nodes)
+    config = RexConfig(
+        scheme=SharingScheme.DATA,
+        dissemination=Dissemination.DPSGD,
+        epochs=epochs,
+        share_points=share_points,
+        seed=seed,
+        mf=MfHyperParams(k=mf_k),
+    )
+    sim = MfFleetSim(
+        train, test, topology, config, global_mean=split.train.global_mean()
+    )
+    sim.run()
+    return sim, split
 
 
 def train_and_load(
@@ -87,20 +124,16 @@ def train_and_load(
     """
     if obs is None:
         obs = Observability.create()
-    split, train, test = _build_data(users, items, ratings, nodes, data_seed=42)
-    topology = Topology.fully_connected(nodes)
-    config = RexConfig(
-        scheme=SharingScheme.DATA,
-        dissemination=Dissemination.DPSGD,
-        epochs=epochs,
-        share_points=share_points,
+    sim, split = train_fleet_model(
         seed=seed,
-        mf=MfHyperParams(k=mf_k),
+        nodes=nodes,
+        epochs=epochs,
+        users=users,
+        items=items,
+        ratings=ratings,
+        mf_k=mf_k,
+        share_points=share_points,
     )
-    sim = MfFleetSim(
-        train, test, topology, config, global_mean=split.train.global_mean()
-    )
-    sim.run()
 
     snapshot = snapshot_from_arrays(
         sim.XU[node_id],
@@ -261,6 +294,7 @@ def run_serving_experiment(
         completed=len(server.completions),
         duration_s=duration,
         throughput_rps=len(completions) / duration if duration > 0 else 0.0,
+        busy_s=server.busy_s,
         latency_s=ServeReport.latency_summary(latencies),
         cache=cache,
         epc=epc_stats,

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Deque, List, Optional
 
 from repro.obs import MetricsRegistry
+from repro.serve.costing import ServeCostModel, price_batch
 from repro.tee.cost_model import SGX1_COST_MODEL, SgxCostModel
 from repro.tee.enclave import Enclave
 from repro.tee.epc import EpcModel
@@ -94,24 +95,6 @@ class ServePolicy:
             raise ValueError("queue_depth and max_batch must be positive")
 
 
-@dataclass(frozen=True)
-class ServeCostModel:
-    """Per-unit serving charges (seconds), calibrated like TimeModel.
-
-    Scoring one (user, item) pair is a k-wide dot product plus the top-K
-    bookkeeping; a result-cache hit is a dictionary lookup plus a copy.
-    """
-
-    score_pair_s: float = 6e-9
-    cache_hit_s: float = 2e-6
-    request_overhead_s: float = 1e-6
-    batch_overhead_s: float = 3e-5
-    #: Marshalled bytes per request in (user id + k) and per result row
-    #: out (k items + k scores), charged via the SGX marshalling rate.
-    request_in_bytes: int = 16
-    result_out_bytes_per_item: int = 16
-
-
 class RecServer:
     """Bounded-queue, batching front-end over one serving enclave."""
 
@@ -137,6 +120,11 @@ class RecServer:
         self.admitted = 0
         self.shed_count = 0
         self.page_faults = 0.0
+        #: Simulated seconds the enclave spent serving dispatched batches
+        #: (the *service window* -- idle queue time excluded).  This is
+        #: the denominator of the capacity-style throughput the serve
+        #: benchmark computes consistently for every scenario.
+        self.busy_s = 0.0
         self._queue: Deque[Request] = deque()
         self._shed_ids: List[int] = []
         self._next_id = 0
@@ -172,6 +160,18 @@ class RecServer:
         self._next_id += 1
         self.admitted += 1
         return request_id
+
+    def evict_queue(self) -> List[Request]:
+        """Remove and return every queued request (crash/failover path).
+
+        Used by the fleet balancer when this server's enclave crashes:
+        admitted-but-unserved work is handed back for re-routing instead
+        of being lost with the incarnation.
+        """
+        queued = list(self._queue)
+        self._queue.clear()
+        self._oldest_wait_ticks = 0
+        return queued
 
     def take_shed(self) -> List[int]:
         """Ids of shed-oldest victims since the last call (then cleared)."""
@@ -220,6 +220,7 @@ class RecServer:
         reply = self.enclave.ecall("ecall_serve", users, k)
         stats = reply["stats"]
         service_s = self._service_time(stats, len(batch))
+        self.busy_s += service_s
 
         # The enclave is a serial resource: a batch starts when the
         # previous one finishes (or now, if idle).
@@ -244,37 +245,28 @@ class RecServer:
     # Simulated service time
     # ------------------------------------------------------------------ #
     def _service_time(self, stats: dict, batch_size: int) -> float:
-        """Assemble one batch's enclave service time from counted work."""
+        """Price one batch via the shared helper (one source of truth)."""
         resident = float(self.enclave.memory.resident_bytes)
-        multiplier = (
-            self.sgx.compute_multiplier(resident, self.epc) if self.sgx.enabled else 1.0
+        cost = price_batch(
+            stats,
+            batch_size,
+            top_k=self.policy.top_k,
+            costs=self.costs,
+            sgx=self.sgx,
+            epc=self.epc,
+            resident_bytes=resident,
         )
-        compute = (
-            stats["scored_pairs"] * self.costs.score_pair_s * multiplier
-            + stats["cache_hits"] * self.costs.cache_hit_s
-            + batch_size * self.costs.request_overhead_s
-            + self.costs.batch_overhead_s
-        )
-        marshalled = batch_size * (
-            self.costs.request_in_bytes
-            + self.policy.top_k * self.costs.result_out_bytes_per_item
-        )
-        transition = self.sgx.transition_time(1, marshalled)
-        paging = self._charge_paging(float(stats["touched_bytes"]), resident)
-        return compute + transition + paging
-
-    def _charge_paging(self, touched_bytes: float, resident_bytes: float) -> float:
-        if not self.sgx.enabled:
-            return 0.0
-        faults = self.epc.page_faults(touched_bytes, resident_bytes)
-        self.page_faults += faults
-        if self.metrics is not None and faults:
-            self.metrics.counter("serve.epc.page_faults").inc(faults)
-            self.metrics.counter("tee.epc.page_faults", stage="serve").inc(faults)
-            self.metrics.gauge("tee.epc.overcommit_ratio").set(
-                self.epc.overcommit_ratio(resident_bytes)
-            )
-        return faults * self.sgx.page_fault_cost_s
+        if cost.page_faults:
+            self.page_faults += cost.page_faults
+            if self.metrics is not None:
+                self.metrics.counter("serve.epc.page_faults").inc(cost.page_faults)
+                self.metrics.counter("tee.epc.page_faults", stage="serve").inc(
+                    cost.page_faults
+                )
+                self.metrics.gauge("tee.epc.overcommit_ratio").set(
+                    self.epc.overcommit_ratio(resident)
+                )
+        return cost.service_s
 
     # ------------------------------------------------------------------ #
     @property

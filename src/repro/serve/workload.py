@@ -36,7 +36,14 @@ from repro.serve.server import Completion, RecServer
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.sim.kernel import EventKernel
 
-__all__ = ["WorkloadSpec", "WorkloadGenerator", "run_trace", "run_closed_loop"]
+__all__ = [
+    "WorkloadSpec",
+    "WorkloadGenerator",
+    "TrafficSpec",
+    "TrafficModel",
+    "run_trace",
+    "run_closed_loop",
+]
 
 
 @dataclass(frozen=True)
@@ -80,6 +87,118 @@ class WorkloadGenerator:
     def trace(self) -> np.ndarray:
         """Open-loop arrival trace: an (N, 2) array of (tick, user) rows."""
         counts = self._rng.poisson(self.spec.rate, size=self.spec.ticks)
+        total = int(counts.sum())
+        users = self.users(total)
+        ticks = np.repeat(np.arange(self.spec.ticks, dtype=np.int64), counts)
+        return np.column_stack([ticks, users])
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Shape of one *production* traffic model.
+
+    Three effects stack on the plain Poisson/Zipf workload above, each
+    one observed in real serving fleets:
+
+    - **diurnal weighting** -- the arrival rate swings between a daytime
+      peak (``peak_rate``) and a nighttime trough (``peak_rate /
+      day_night_ratio``) on a raised-cosine over ``diurnal_period``
+      ticks, so admission and shard capacity are exercised at peak while
+      the trough proves the fleet does not shed idle traffic;
+    - **flash crowds** -- ``flash_crowds`` seeded bursts multiply the
+      instantaneous rate by ``flash_multiplier`` for ``flash_duration``
+      ticks each (start ticks drawn from the spec's child stream), the
+      events a bounded global queue exists for;
+    - **heavy-tailed per-user rates** -- per-user request weights drawn
+      from a Pareto(``pareto_alpha``) law, so a small cohort of power
+      users dominates traffic (heavier than the Zipf head of
+      :class:`WorkloadSpec` and uneven *across shards*, which is what
+      makes consistent-hash balance worth testing).
+
+    Everything derives from ``seed`` through fixed-order draws on one
+    named child stream, so a ``(seed, spec)`` pair always yields the
+    same trace and the same pinned digest.
+    """
+
+    seed: int = 7
+    n_users: int = 400
+    ticks: int = 400
+    #: Daytime-peak mean arrivals per tick (Poisson).
+    peak_rate: float = 8.0
+    #: Ticks per simulated day (one full trough -> peak -> trough cycle).
+    diurnal_period: int = 200
+    #: Peak-to-trough rate ratio (1 disables the diurnal swing).
+    day_night_ratio: float = 4.0
+    flash_crowds: int = 1
+    flash_multiplier: float = 6.0
+    flash_duration: int = 12
+    #: Pareto tail exponent of per-user request weights (smaller =
+    #: heavier tail).
+    pareto_alpha: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.day_night_ratio < 1.0:
+            raise ValueError("day/night ratio must be >= 1 (peak over trough)")
+        if self.diurnal_period < 2:
+            raise ValueError("diurnal period must span at least two ticks")
+        if self.flash_crowds < 0 or self.flash_duration < 1:
+            raise ValueError("flash-crowd shape invalid")
+        if self.flash_multiplier < 1.0:
+            raise ValueError("a flash crowd cannot reduce traffic")
+        if self.pareto_alpha <= 0:
+            raise ValueError("pareto alpha must be positive")
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+class TrafficModel:
+    """Deterministic diurnal + flash-crowd + heavy-tail query source."""
+
+    def __init__(self, spec: TrafficSpec):
+        self.spec = spec
+        self._rng = child_rng(spec.seed, "serve", "traffic")
+        # Draw order is part of the contract: user weights, then flash
+        # starts, then (in trace()) per-tick counts, then user ids.
+        weights = self._rng.pareto(spec.pareto_alpha, spec.n_users) + 1.0
+        self.user_weights = weights / weights.sum()
+        if spec.flash_crowds > 0:
+            horizon = max(1, spec.ticks - spec.flash_duration)
+            starts = self._rng.integers(0, horizon, size=spec.flash_crowds)
+            self.flash_starts = np.sort(starts.astype(np.int64))
+        else:
+            self.flash_starts = np.empty(0, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    def rates(self) -> np.ndarray:
+        """Per-tick mean arrival rates (diurnal swing x flash bursts)."""
+        spec = self.spec
+        ticks = np.arange(spec.ticks, dtype=np.float64)
+        trough = 1.0 / spec.day_night_ratio
+        # Raised cosine from trough (tick 0, "midnight") up to the peak
+        # at half a period and back; mean sits halfway between the two.
+        diurnal = trough + (1.0 - trough) * 0.5 * (
+            1.0 - np.cos(2.0 * np.pi * ticks / spec.diurnal_period)
+        )
+        rates = spec.peak_rate * diurnal
+        for start in self.flash_starts:
+            stop = min(spec.ticks, int(start) + spec.flash_duration)
+            rates[int(start) : stop] *= spec.flash_multiplier
+        return rates
+
+    def peak_tick(self) -> int:
+        """The tick with the highest mean rate (for mid-peak fault plans)."""
+        return int(np.argmax(self.rates()))
+
+    def users(self, count: int) -> np.ndarray:
+        """Draw ``count`` user ids from the heavy-tailed weight law."""
+        return self._rng.choice(
+            self.spec.n_users, size=int(count), p=self.user_weights
+        ).astype(np.int64)
+
+    def trace(self) -> np.ndarray:
+        """Open-loop arrival trace: an (N, 2) array of (tick, user) rows."""
+        counts = self._rng.poisson(self.rates())
         total = int(counts.sum())
         users = self.users(total)
         ticks = np.repeat(np.arange(self.spec.ticks, dtype=np.int64), counts)

@@ -119,6 +119,29 @@ class TestCommands:
         assert doc["completed"] > 0
         assert len(doc["snapshot_digest"]) == 64
 
+    def test_serve_fleet_small(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "fleet-serve.json"
+        code = main(
+            [
+                "serve", "--fleet", "--shards", "3", "--replicas", "2",
+                "--nodes", "4", "--epochs", "2", "--ratings", "2500",
+                "--users", "90", "--items", "60", "--ticks", "80",
+                "--kill-one-replica-per-shard", "--output", str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet 3 shards x 2 replicas" in out
+        doc = json.loads(out_path.read_text())
+        assert doc["schema"] == "repro.serve-fleet/v1"
+        assert doc["completed"] > 0
+        assert doc["routing_errors"] == 0
+        assert doc["crashes"] == 3
+        assert len(doc["ring_digest"]) == 64
+        assert len(doc["per_shard"]) == 3
+
     def test_serve_shed_policy_validated(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "--shed", "drop-random"])
